@@ -1,0 +1,20 @@
+"""Ablation: adaptive block size vs static block sizes (Section 6.2)."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import ablation_adaptive_block_size
+
+
+def test_ablation_adaptive_block_size(benchmark, scale):
+    report = run_figure(benchmark, ablation_adaptive_block_size, scale)
+    # Across the evaluated arrival rates the adaptive policy accumulates no more
+    # failures than always running with the large static block size.
+    adaptive = sum(
+        row[report.headers.index("failures_pct")]
+        for row in report.rows_where(policy="adaptive")
+    )
+    static_large = sum(
+        row[report.headers.index("failures_pct")]
+        for row in report.rows_where(policy="static-large")
+    )
+    assert adaptive <= static_large + 1.0

@@ -1,0 +1,21 @@
+"""Ablations: read-only transaction filtering and the client-side endorsement check."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import ablation_client_side_check, ablation_readonly_filtering
+
+
+def test_ablation_readonly_filtering(benchmark, scale):
+    report = run_figure(benchmark, ablation_readonly_filtering, scale)
+    submit = report.value("committed_throughput_tps", submit_read_only=True)
+    skip = report.value("committed_throughput_tps", submit_read_only=False)
+    # Skipping read-only transactions reduces what is written to the chain.
+    assert skip < submit
+
+
+def test_ablation_client_side_check(benchmark, scale):
+    report = run_figure(benchmark, ablation_client_side_check, scale)
+    # The optional client-side check must not increase latency.
+    with_check = report.value("latency_s", client_side_check=True)
+    without_check = report.value("latency_s", client_side_check=False)
+    assert with_check <= without_check * 1.1

@@ -1,0 +1,24 @@
+"""Figure 4: best block size at different transaction arrival rates."""
+
+from conftest import bench_scale, run_figure
+
+from repro.bench.experiments import figure04_best_block_size
+
+#: The quick scale restricts the sweep to two chaincodes and the C2 cluster so
+#: the benchmark finishes on a laptop; pass REPRO_BENCH_SCALE=paper for the
+#: full Figure 4 grid (EHR/DV/DRM on both clusters).
+QUICK_CHAINCODES = ("EHR", "DRM")
+QUICK_CLUSTERS = ("C2",)
+
+
+def test_fig04_best_block_size(benchmark, scale):
+    chaincodes = QUICK_CHAINCODES if scale.name == "quick" else ("EHR", "DV", "DRM")
+    clusters = QUICK_CLUSTERS if scale.name == "quick" else ("C1", "C2")
+    report = run_figure(
+        benchmark, figure04_best_block_size, scale, chaincodes=chaincodes, clusters=clusters
+    )
+    # The best block size must not shrink as the arrival rate grows (EHR, C2).
+    ehr = [row for row in report.rows if row[0] == "EHR" and row[1] == "C2"]
+    rates = sorted(row[2] for row in ehr)
+    best_by_rate = {row[2]: row[3] for row in ehr}
+    assert best_by_rate[rates[-1]] >= best_by_rate[rates[0]]

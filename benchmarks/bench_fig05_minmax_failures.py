@@ -1,0 +1,15 @@
+"""Figure 5: minimum and maximum transaction failures over the block-size sweep."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure05_minmax_failures
+
+
+def test_fig05_minmax_failures(benchmark, scale):
+    chaincodes = ("EHR",) if scale.name == "quick" else ("EHR", "DV", "DRM")
+    report = run_figure(benchmark, figure05_minmax_failures, scale, chaincodes=chaincodes)
+    # Choosing the best block size must reduce failures at every rate.
+    for row in report.rows:
+        least = row[report.headers.index("least_failures_pct")]
+        most = row[report.headers.index("most_failures_pct")]
+        assert least <= most

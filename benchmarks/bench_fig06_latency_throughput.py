@@ -1,0 +1,13 @@
+"""Figure 6: latency and committed throughput at different block sizes."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure06_latency_throughput
+
+
+def test_fig06_latency_throughput(benchmark, scale):
+    report = run_figure(benchmark, figure06_latency_throughput, scale)
+    latencies = dict(zip(report.column("block_size"), report.column("latency_s")))
+    # Latency is not minimal at the largest block size (block fill time dominates there).
+    largest = max(latencies)
+    assert min(latencies.values()) < latencies[largest]

@@ -1,0 +1,15 @@
+"""Figure 7: inter- vs intra-block MVCC read conflicts over the block size."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure07_mvcc_by_block_size
+
+
+def test_fig07_mvcc_by_block_size(benchmark, scale):
+    report = run_figure(benchmark, figure07_mvcc_by_block_size, scale)
+    sizes = report.column("block_size")
+    intra = dict(zip(sizes, report.column("intra_block_pct")))
+    inter = dict(zip(sizes, report.column("inter_block_pct")))
+    # Intra-block conflicts grow with the block size; inter-block conflicts shrink.
+    assert intra[max(sizes)] > intra[min(sizes)]
+    assert inter[max(sizes)] < inter[min(sizes)]

@@ -1,0 +1,13 @@
+"""Figure 8: inter- vs intra-block MVCC read conflicts over the arrival rate."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure08_mvcc_by_arrival_rate
+
+
+def test_fig08_mvcc_by_arrival_rate(benchmark, scale):
+    report = run_figure(benchmark, figure08_mvcc_by_arrival_rate, scale)
+    rates = report.column("arrival_rate")
+    total = dict(zip(rates, report.column("total_mvcc_pct")))
+    # MVCC read conflicts increase with the transaction arrival rate.
+    assert total[max(rates)] > total[min(rates)]

@@ -1,0 +1,13 @@
+"""Figure 9: endorsement policy failures over the block size."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure09_endorsement_by_block_size
+
+
+def test_fig09_endorsement_by_block_size(benchmark, scale):
+    report = run_figure(benchmark, figure09_endorsement_by_block_size, scale)
+    values = report.column("endorsement_failures_pct")
+    # Endorsement policy failures stay within a few percent at every block size
+    # (they are caused by world-state inconsistency, not by batching).
+    assert max(values) <= 10.0

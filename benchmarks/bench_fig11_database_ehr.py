@@ -1,0 +1,13 @@
+"""Figure 11: CouchDB vs LevelDB for the EHR chaincode."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure11_database_effect
+
+
+def test_fig11_database_effect(benchmark, scale):
+    report = run_figure(benchmark, figure11_database_effect, scale)
+    # LevelDB yields lower latency than CouchDB.
+    assert report.value("latency_s", database="leveldb") < report.value(
+        "latency_s", database="couchdb"
+    )

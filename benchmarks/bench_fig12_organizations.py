@@ -1,0 +1,16 @@
+"""Figure 12: effect of the number of organizations."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure12_organizations
+
+
+def test_fig12_organizations(benchmark, scale):
+    counts = (2, 6, 10) if scale.name == "quick" else (2, 4, 6, 8, 10)
+    report = run_figure(benchmark, figure12_organizations, scale, organization_counts=counts)
+    orgs = report.column("organizations")
+    endorsement = dict(zip(orgs, report.column("endorsement_pct")))
+    latency = dict(zip(orgs, report.column("latency_s")))
+    # More organizations -> more endorsement policy failures and higher latency.
+    assert endorsement[max(orgs)] >= endorsement[min(orgs)]
+    assert latency[max(orgs)] > latency[min(orgs)]

@@ -1,0 +1,12 @@
+"""Figure 13: effect of the endorsement policies P0-P3 (Table 5)."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure13_endorsement_policies
+
+
+def test_fig13_endorsement_policies(benchmark, scale):
+    report = run_figure(benchmark, figure13_endorsement_policies, scale)
+    endorsement = dict(zip(report.column("policy"), report.column("endorsement_pct")))
+    # P0 (all organizations must sign) causes the most endorsement failures.
+    assert endorsement["P0"] >= max(endorsement["P1"], endorsement["P2"])

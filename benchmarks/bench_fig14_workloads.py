@@ -1,0 +1,14 @@
+"""Figure 14: effect of the workload mix (genChain)."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure14_workload_mix
+
+
+def test_fig14_workload_mix(benchmark, scale):
+    report = run_figure(benchmark, figure14_workload_mix, scale)
+    failures = dict(zip(report.column("workload"), report.column("failures_pct")))
+    # Update-heavy fails most; insert- and delete-heavy workloads fail least.
+    assert failures["UH"] == max(failures.values())
+    assert failures["IH"] <= failures["RH"]
+    assert failures["DH"] <= failures["RH"]

@@ -1,0 +1,12 @@
+"""Figure 15: effect of the Zipfian key skew."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure15_zipf_skew
+
+
+def test_fig15_zipf_skew(benchmark, scale):
+    report = run_figure(benchmark, figure15_zipf_skew, scale)
+    failures = dict(zip(report.column("zipf_skew"), report.column("failures_pct")))
+    # Failures increase monotonically with the skew (paper: 29.6 / 67.5 / 94.3 %).
+    assert failures[0.0] < failures[1.0] < failures[2.0]

@@ -1,0 +1,19 @@
+"""Figure 16: Fabric 1.4 with and without an induced network delay."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure16_network_delay
+
+
+def test_fig16_network_delay(benchmark, scale):
+    report = run_figure(benchmark, figure16_network_delay, scale)
+    # At the highest rate, the delayed configuration has higher latency and at
+    # least as many endorsement policy failures.
+    rates = sorted(set(report.column("arrival_rate")))
+    top_rate = rates[-1]
+    delayed = report.rows_where(arrival_rate=top_rate, delayed=True)[0]
+    baseline = report.rows_where(arrival_rate=top_rate, delayed=False)[0]
+    latency_index = report.headers.index("latency_s")
+    endorsement_index = report.headers.index("endorsement_pct")
+    assert delayed[latency_index] > baseline[latency_index]
+    assert delayed[endorsement_index] >= baseline[endorsement_index]

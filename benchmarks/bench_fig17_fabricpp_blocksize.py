@@ -1,0 +1,13 @@
+"""Figure 17: Fabric++ vs Fabric 1.4 over the block size."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure17_fabricpp_block_size
+
+
+def test_fig17_fabricpp_block_size(benchmark, scale):
+    report = run_figure(benchmark, figure17_fabricpp_block_size, scale)
+    # At the default block size (100) Fabric++ reduces the total failures.
+    fabric = report.value("failures_pct", variant="fabric-1.4", block_size=100)
+    fabricpp = report.value("failures_pct", variant="fabric++", block_size=100)
+    assert fabricpp < fabric

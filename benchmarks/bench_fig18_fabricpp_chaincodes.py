@@ -1,0 +1,18 @@
+"""Figure 18: Fabric++ vs Fabric 1.4 across the use-case chaincodes."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure18_fabricpp_chaincodes
+
+
+def test_fig18_fabricpp_chaincodes(benchmark, scale):
+    chaincodes = ("EHR", "DV") if scale.name == "quick" else ("EHR", "DV", "SCM", "DRM")
+    report = run_figure(benchmark, figure18_fabricpp_chaincodes, scale, chaincodes=chaincodes)
+    # The chaincode with large range queries (DV) keeps a (much) higher latency
+    # and failure rate than EHR even under Fabric++ (Section 5.2.3).
+    dv_latency = report.value("latency_s", variant="fabric++", chaincode="DV")
+    ehr_latency = report.value("latency_s", variant="fabric++", chaincode="EHR")
+    assert dv_latency > ehr_latency
+    dv_failures = report.value("failures_pct", variant="fabric++", chaincode="DV")
+    ehr_failures = report.value("failures_pct", variant="fabric++", chaincode="EHR")
+    assert dv_failures > ehr_failures

@@ -1,0 +1,16 @@
+"""Figure 19: Fabric++ vs Fabric 1.4 across workloads and key skew."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure19_fabricpp_workloads
+
+
+def test_fig19_fabricpp_workloads(benchmark, scale):
+    report = run_figure(benchmark, figure19_fabricpp_workloads, scale)
+    # Fabric++ must not make the conflict-free insert-heavy workload much worse
+    # and must not lose against Fabric 1.4 on the update-heavy workload.
+    fabric_uh = report.value("failures_pct", variant="fabric-1.4", series="workload", point="UH")
+    fabricpp_uh = report.value("failures_pct", variant="fabric++", series="workload", point="UH")
+    assert fabricpp_uh <= fabric_uh + 2.0
+    fabricpp_ih = report.value("failures_pct", variant="fabric++", series="workload", point="IH")
+    assert fabricpp_ih < 15.0

@@ -1,0 +1,14 @@
+"""Figure 20: Streamchain vs Fabric 1.4 at low arrival rates."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure20_streamchain_load
+
+
+def test_fig20_streamchain_load(benchmark, scale):
+    report = run_figure(benchmark, figure20_streamchain_load, scale)
+    # At every evaluated rate Streamchain has (much) lower latency than Fabric 1.4.
+    for rate in sorted(set(report.column("arrival_rate"))):
+        fabric = report.value("latency_s", variant="fabric-1.4", arrival_rate=rate)
+        stream = report.value("latency_s", variant="streamchain", arrival_rate=rate)
+        assert stream < fabric

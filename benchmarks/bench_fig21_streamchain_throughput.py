@@ -1,0 +1,18 @@
+"""Figure 21: committed transaction throughput at high arrival rates."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure21_streamchain_throughput
+
+
+def test_fig21_streamchain_throughput(benchmark, scale):
+    report = run_figure(benchmark, figure21_streamchain_throughput, scale)
+    # On the C1 cluster at 200 tps, Fabric 1.4 commits more transactions to the
+    # chain than Streamchain, which saturates (Section 5.3.1).
+    fabric = report.value(
+        "committed_throughput_tps", cluster="C1", arrival_rate=200, variant="fabric-1.4"
+    )
+    stream = report.value(
+        "committed_throughput_tps", cluster="C1", arrival_rate=200, variant="streamchain"
+    )
+    assert fabric > stream

@@ -1,0 +1,15 @@
+"""Figure 22: Streamchain vs Fabric 1.4 across workloads and key skew."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure22_streamchain_workloads
+
+
+def test_fig22_streamchain_workloads(benchmark, scale):
+    report = run_figure(benchmark, figure22_streamchain_workloads, scale)
+    # Streamchain reduces failures regardless of the type of workload (Section 5.3.2):
+    # check the most conflict-prone series points.
+    for series, point in (("workload", "UH"), ("skew", "2.0")):
+        fabric = report.value("failures_pct", variant="fabric-1.4", series=series, point=point)
+        stream = report.value("failures_pct", variant="streamchain", series=series, point=point)
+        assert stream <= fabric

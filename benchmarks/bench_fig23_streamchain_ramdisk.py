@@ -1,0 +1,14 @@
+"""Figure 23: Streamchain with and without a RAM disk."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure23_streamchain_ramdisk
+
+
+def test_fig23_streamchain_ramdisk(benchmark, scale):
+    report = run_figure(benchmark, figure23_streamchain_ramdisk, scale)
+    top_rate = max(report.column("arrival_rate"))
+    with_ram = report.value("latency_s", system="Streamchain", arrival_rate=top_rate)
+    without_ram = report.value("latency_s", system="Streamchain w/o ramdisk", arrival_rate=top_rate)
+    # The RAM disk is responsible for a large part of Streamchain's advantage.
+    assert with_ram < without_ram

@@ -1,0 +1,20 @@
+"""Figure 24: FabricSharp vs Fabric 1.4."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure24_fabricsharp_load
+
+
+def test_fig24_fabricsharp_load(benchmark, scale):
+    report = run_figure(benchmark, figure24_fabricsharp_load, scale)
+    top_rate = max(report.column("arrival_rate"))
+    # FabricSharp eliminates MVCC read conflicts entirely ...
+    assert report.value("mvcc_pct", variant="fabricsharp", arrival_rate=top_rate) == 0.0
+    # ... reduces the recorded failures dramatically ...
+    assert report.value("failures_pct", variant="fabricsharp", arrival_rate=top_rate) < report.value(
+        "failures_pct", variant="fabric-1.4", arrival_rate=top_rate
+    )
+    # ... but commits fewer transactions to the blockchain.
+    assert report.value(
+        "committed_throughput_tps", variant="fabricsharp", arrival_rate=top_rate
+    ) < report.value("committed_throughput_tps", variant="fabric-1.4", arrival_rate=top_rate)

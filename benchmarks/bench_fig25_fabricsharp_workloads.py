@@ -1,0 +1,18 @@
+"""Figure 25: FabricSharp vs Fabric 1.4 across workloads and key skew."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import figure25_fabricsharp_workloads
+
+
+def test_fig25_fabricsharp_workloads(benchmark, scale):
+    report = run_figure(benchmark, figure25_fabricsharp_workloads, scale)
+    # FabricSharp dramatically reduces failures for the update-heavy workload
+    # (paper: 23.03 % -> 2.34 %) and for highly skewed key access
+    # (paper: 94.32 % -> 4.63 %).
+    assert report.value(
+        "failures_pct", variant="fabricsharp", series="workload", point="UH"
+    ) < report.value("failures_pct", variant="fabric-1.4", series="workload", point="UH")
+    assert report.value(
+        "failures_pct", variant="fabricsharp", series="skew", point="2.0"
+    ) < report.value("failures_pct", variant="fabric-1.4", series="skew", point="2.0")

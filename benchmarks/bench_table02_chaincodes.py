@@ -1,0 +1,10 @@
+"""Table 2: chaincode functions and their operations."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import table02_chaincode_profiles
+
+
+def test_table02_chaincode_profiles(benchmark, scale):
+    report = run_figure(benchmark, table02_chaincode_profiles, scale)
+    assert {"EHR", "DV", "SCM", "DRM", "genChain"} == set(report.column("chaincode"))

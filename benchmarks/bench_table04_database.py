@@ -1,0 +1,17 @@
+"""Table 4: effect of the database type on the genChain workloads."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import table04_database_types
+
+
+def test_table04_database_types(benchmark, scale):
+    report = run_figure(benchmark, table04_database_types, scale)
+    # LevelDB must beat CouchDB on latency for the range-heavy workload (paper: 4.1 s vs 101.6 s).
+    couch = report.value("latency_s", workload="RaH", database="couchdb")
+    level = report.value("latency_s", workload="RaH", database="leveldb")
+    assert level < couch
+    # Per-call GetState latency must reflect the Table 4 gap (0.6 ms vs 8.3 ms).
+    assert report.value("GetState_ms", workload="RH", database="couchdb") > report.value(
+        "GetState_ms", workload="RH", database="leveldb"
+    )

@@ -1,0 +1,49 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Every benchmark regenerates one table or figure of the paper by calling the
+corresponding function in :mod:`repro.bench.experiments` exactly once
+(``benchmark.pedantic`` with a single round — the experiment functions already
+average over repetitions internally) and printing the resulting rows, so the
+output of ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+log recorded in EXPERIMENTS.md.
+
+The default scale is a laptop-friendly reduction of the paper's setup (shorter
+simulated durations and smaller key populations); set the environment variable
+``REPRO_BENCH_SCALE`` to ``standard`` or ``paper`` to run closer to the
+original experiments.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import PAPER_SCALE, QUICK_SCALE, STANDARD_SCALE, Scale
+from repro.bench.reporting import format_table
+
+_SCALES = {"quick": QUICK_SCALE, "standard": STANDARD_SCALE, "paper": PAPER_SCALE}
+
+
+def bench_scale() -> Scale:
+    """The scale selected through the REPRO_BENCH_SCALE environment variable."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return _SCALES.get(name, QUICK_SCALE)
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """Session-wide benchmark scale."""
+    return bench_scale()
+
+
+def run_figure(benchmark, experiment_function, *args, **kwargs):
+    """Run one experiment function under pytest-benchmark and print its table."""
+    report = benchmark.pedantic(
+        experiment_function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(format_table(report.headers, report.rows, title=report.title))
+    if report.notes:
+        print(report.notes)
+    return report

@@ -1,0 +1,89 @@
+"""PEP 517 build-backend shim that also works on machines without internet.
+
+The project builds with plain ``setuptools.build_meta``.  However, ``pip``
+performs builds in an *isolated* environment into which it normally downloads
+the build requirements; on air-gapped machines that download fails and
+``pip install -e .`` aborts before the project is even built.
+
+This shim keeps ``requires = []`` in ``pyproject.toml`` (so pip has nothing to
+download) and, when the isolated build environment does not already provide
+setuptools, falls back to the setuptools installation of the host interpreter.
+Online installations are unaffected: if setuptools is importable, the shim is a
+plain re-export of ``setuptools.build_meta``.
+"""
+
+from __future__ import annotations
+
+import os
+import site
+import sys
+import sysconfig
+
+
+def _candidate_site_packages() -> list[str]:
+    candidates = []
+    try:
+        candidates.append(sysconfig.get_paths()["purelib"])
+    except (KeyError, OSError):  # pragma: no cover - defensive
+        pass
+    try:
+        candidates.extend(site.getsitepackages())
+    except AttributeError:  # pragma: no cover - e.g. virtualenv without the API
+        pass
+    for prefix in (sys.prefix, sys.base_prefix):
+        candidates.append(
+            os.path.join(
+                prefix,
+                "lib",
+                f"python{sys.version_info.major}.{sys.version_info.minor}",
+                "site-packages",
+            )
+        )
+        candidates.append(os.path.join(prefix, "Lib", "site-packages"))
+    return candidates
+
+
+def _ensure_setuptools() -> None:
+    try:
+        import setuptools  # noqa: F401
+
+        return
+    except ModuleNotFoundError:
+        pass
+    for path in _candidate_site_packages():
+        if os.path.isdir(path) and path not in sys.path:
+            sys.path.append(path)
+    import setuptools  # noqa: F401  (raises a clear error if truly unavailable)
+
+
+_ensure_setuptools()
+
+from setuptools import build_meta as _setuptools_build_meta  # noqa: E402
+
+build_wheel = _setuptools_build_meta.build_wheel
+build_sdist = _setuptools_build_meta.build_sdist
+prepare_metadata_for_build_wheel = _setuptools_build_meta.prepare_metadata_for_build_wheel
+
+# Editable-install hooks (PEP 660) exist in setuptools >= 64.
+if hasattr(_setuptools_build_meta, "build_editable"):
+    build_editable = _setuptools_build_meta.build_editable
+if hasattr(_setuptools_build_meta, "prepare_metadata_for_build_editable"):
+    prepare_metadata_for_build_editable = (
+        _setuptools_build_meta.prepare_metadata_for_build_editable
+    )
+
+
+# setuptools dynamically asks for "wheel" through the get_requires hooks, which
+# pip would then try to download into the isolated build environment.  The host
+# fallback above already makes setuptools (and wheel, when installed) available,
+# so no additional requirements are reported.
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103 - PEP 517 hook
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103 - PEP 517 hook
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103 - PEP 517 hook
+    return []

@@ -1,0 +1,69 @@
+"""Compare Fabric 1.4, Fabric++, Streamchain and FabricSharp on one workload.
+
+This example reproduces the spirit of Figure 26: all four systems run the same
+EHR workload at increasing arrival rates on the C1 cluster, and the table shows
+how each optimization trades latency, MVCC conflicts, endorsement failures and
+committed throughput.
+
+Run with::
+
+    python examples/compare_fabric_variants.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, NetworkConfig, run_experiment
+from repro.bench.reporting import format_table, print_report
+
+VARIANTS = ("fabric-1.4", "fabric++", "streamchain", "fabricsharp")
+ARRIVAL_RATES = (10, 50, 100)
+
+
+def main() -> None:
+    rows = []
+    for variant in VARIANTS:
+        for rate in ARRIVAL_RATES:
+            config = ExperimentConfig(
+                variant=variant,
+                network=NetworkConfig(cluster="C1", block_size=10, database="couchdb"),
+                arrival_rate=float(rate),
+                duration=10.0,
+                seed=23,
+            )
+            result = run_experiment(config)
+            metrics = result.metrics[0]
+            rows.append(
+                (
+                    variant,
+                    rate,
+                    result.average_latency,
+                    result.endorsement_pct,
+                    result.mvcc_pct,
+                    result.failure_pct,
+                    metrics.committed_throughput,
+                )
+            )
+    print_report(
+        format_table(
+            (
+                "system",
+                "arrival rate",
+                "latency (s)",
+                "endorsement failures (%)",
+                "MVCC conflicts (%)",
+                "total failures (%)",
+                "committed throughput (tps)",
+            ),
+            rows,
+            title="Figure 26 style comparison of the four Fabric systems (EHR, C1)",
+        )
+    )
+    print(
+        "Reading guide: all three optimizations cut MVCC conflicts, none removes endorsement\n"
+        "policy failures, Streamchain has by far the lowest latency at these low rates, and\n"
+        "FabricSharp trades committed throughput for an (almost) conflict-free ledger."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — a reproduction of "Why Do My Blockchain Transactions Fail?" (SIGMOD 2021).
+
+The package provides a discrete-event simulation of Hyperledger Fabric's
+Execute-Order-Validate pipeline, the four use-case chaincodes and the synthetic
+chaincode/workload generator of the paper, the three studied optimizations
+(Fabric++, Streamchain, FabricSharp), a transaction-failure classifier
+implementing the paper's formal definitions, and a benchmarking harness that
+regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(arrival_rate=100, duration=10))
+    print(result.failure_pct, result.mvcc_pct, result.endorsement_pct)
+"""
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
+from repro.core.adaptive import AdaptiveBlockSizeController, BlockSizeTuner
+from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
+from repro.core.classifier import TransactionClassifier
+from repro.core.failures import FailureType
+from repro.core.metrics import ExperimentMetrics, FailureReport
+from repro.core.recommendations import Recommendation, RecommendationEngine
+from repro.errors import ReproError
+from repro.fabric import available_variants, create_variant
+from repro.network.config import CLUSTER_PRESETS, DatabaseType, NetworkConfig, TimingProfile
+from repro.network.network import FabricNetwork, RunRecord
+from repro.workload.spec import TransactionMix, WorkloadSpec
+from repro.workload.workloads import (
+    delete_heavy,
+    insert_heavy,
+    range_heavy,
+    read_heavy,
+    read_update_uniform,
+    synthetic_workload,
+    uniform_workload,
+    update_heavy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "CHAINCODE_REGISTRY",
+    "create_chaincode",
+    "AdaptiveBlockSizeController",
+    "BlockSizeTuner",
+    "ExperimentAnalysis",
+    "LedgerAnalyzer",
+    "TransactionClassifier",
+    "FailureType",
+    "ExperimentMetrics",
+    "FailureReport",
+    "Recommendation",
+    "RecommendationEngine",
+    "ReproError",
+    "available_variants",
+    "create_variant",
+    "CLUSTER_PRESETS",
+    "DatabaseType",
+    "NetworkConfig",
+    "TimingProfile",
+    "FabricNetwork",
+    "RunRecord",
+    "TransactionMix",
+    "WorkloadSpec",
+    "read_heavy",
+    "insert_heavy",
+    "update_heavy",
+    "delete_heavy",
+    "range_heavy",
+    "read_update_uniform",
+    "synthetic_workload",
+    "uniform_workload",
+]

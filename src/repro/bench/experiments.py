@@ -1,0 +1,883 @@
+"""Experiment definitions: one function per table and figure of the paper.
+
+Every function reproduces the sweep behind one artefact of the evaluation
+(Section 5) and returns an :class:`ExperimentReport` — a titled table whose
+rows mirror the series the paper plots.  The functions take a :class:`Scale`
+that controls the simulated duration, repetitions and population sizes, so the
+same code can run as a quick laptop benchmark (:data:`QUICK_SCALE`), a more
+faithful sweep (:data:`STANDARD_SCALE`) or the full paper setup
+(:data:`PAPER_SCALE`, 180 simulated seconds and three repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.sweeps import find_best_block_size
+from repro.chaincode import create_chaincode
+from repro.chaincode.api import ChaincodeStub
+from repro.core.adaptive import AdaptiveBlockSizeController
+from repro.network.config import NetworkConfig
+from repro.network.network import make_state_store
+from repro.workload.spec import WorkloadSpec
+from repro.workload.workloads import read_update_uniform, synthetic_workload, uniform_workload
+
+
+# --------------------------------------------------------------------------- scales
+@dataclass(frozen=True)
+class Scale:
+    """How big an experiment run should be."""
+
+    name: str
+    duration: float
+    repetitions: int
+    rates: Tuple[int, ...]
+    block_sizes: Tuple[int, ...]
+    genchain_keys: int
+    dv_voters: int
+    scm_units: Tuple[int, ...]
+    ehr_patients: int
+    drm_artworks: int
+
+
+#: Small populations and short runs: the whole benchmark suite finishes on a laptop.
+QUICK_SCALE = Scale(
+    name="quick",
+    duration=8.0,
+    repetitions=1,
+    rates=(25, 100, 200),
+    block_sizes=(10, 50, 150),
+    genchain_keys=20_000,
+    dv_voters=120,
+    scm_units=(120, 120, 120, 120, 240),
+    ehr_patients=100,
+    drm_artworks=200,
+)
+
+#: Longer runs and the full rate/block-size grids of the paper.
+STANDARD_SCALE = Scale(
+    name="standard",
+    duration=20.0,
+    repetitions=2,
+    rates=(10, 50, 100, 150, 200),
+    block_sizes=(10, 50, 100, 150, 200),
+    genchain_keys=50_000,
+    dv_voters=300,
+    scm_units=(200, 200, 200, 200, 400),
+    ehr_patients=100,
+    drm_artworks=200,
+)
+
+#: The paper's setup: 3-minute runs, three repetitions, full populations.
+PAPER_SCALE = Scale(
+    name="paper",
+    duration=180.0,
+    repetitions=3,
+    rates=(10, 50, 100, 150, 200),
+    block_sizes=(10, 50, 100, 150, 200),
+    genchain_keys=100_000,
+    dv_voters=1000,
+    scm_units=(400, 400, 400, 400, 800),
+    ehr_patients=100,
+    drm_artworks=200,
+)
+
+
+@dataclass
+class ExperimentReport:
+    """Rows/series regenerating one table or figure of the paper."""
+
+    experiment_id: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> List:
+        """All values of one column, in row order."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def rows_where(self, **constraints) -> List[Tuple]:
+        """Rows whose named columns equal the given values."""
+        indexes = {self.headers.index(name): value for name, value in constraints.items()}
+        return [
+            row
+            for row in self.rows
+            if all(row[index] == value for index, value in indexes.items())
+        ]
+
+    def value(self, column: str, **constraints) -> float:
+        """The single value of ``column`` in the row matching ``constraints``."""
+        matches = self.rows_where(**constraints)
+        if len(matches) != 1:
+            raise ValueError(
+                f"expected exactly one row matching {constraints}, found {len(matches)}"
+            )
+        return matches[0][self.headers.index(column)]
+
+
+# --------------------------------------------------------------------------- helpers
+def scaled_workload(chaincode: str, scale: Scale) -> WorkloadSpec:
+    """The default uniform workload of a chaincode, scaled for quick runs."""
+    if chaincode == "EHR":
+        return uniform_workload("EHR", patients=scale.ehr_patients)
+    if chaincode == "DV":
+        return uniform_workload("DV", voters=scale.dv_voters)
+    if chaincode == "SCM":
+        return uniform_workload("SCM", units_per_lsp=list(scale.scm_units))
+    if chaincode == "DRM":
+        return uniform_workload("DRM", artworks=scale.drm_artworks)
+    return uniform_workload("genChain", num_keys=scale.genchain_keys)
+
+
+def scaled_synthetic(abbreviation: str, scale: Scale, include_range: bool = True) -> WorkloadSpec:
+    """A genChain x-heavy workload with the scale's key population."""
+    return synthetic_workload(
+        abbreviation, include_range=include_range, num_keys=scale.genchain_keys
+    )
+
+
+def base_config(
+    scale: Scale,
+    cluster: str = "C2",
+    variant: str = "fabric-1.4",
+    workload: Optional[WorkloadSpec] = None,
+    arrival_rate: float = 100.0,
+    zipf_skew: float = 1.0,
+    seed: int = 7,
+    **network_overrides,
+) -> ExperimentConfig:
+    """An :class:`ExperimentConfig` with the paper's Table 3 defaults."""
+    return ExperimentConfig(
+        variant=variant,
+        workload=workload or scaled_workload("EHR", scale),
+        network=NetworkConfig(cluster=cluster, **network_overrides),
+        arrival_rate=arrival_rate,
+        duration=scale.duration,
+        zipf_skew=zipf_skew,
+        repetitions=scale.repetitions,
+        seed=seed,
+    )
+
+
+# =============================================================================
+# Tables
+# =============================================================================
+def table02_chaincode_profiles(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Table 2: chaincode functions and their read/write/range operation counts.
+
+    Every function of every chaincode is executed once against a fresh stub and
+    the observed operation counts are reported next to the profile declared in
+    the paper's Table 2.
+    """
+    report = ExperimentReport(
+        experiment_id="table2",
+        title="Table 2: chaincode functions and operations",
+        headers=("chaincode", "function", "reads", "writes", "deletes", "range_reads", "paper"),
+    )
+    import random
+
+    chaincode_kwargs = {
+        "EHR": {"patients": scale.ehr_patients},
+        "DV": {"voters": scale.dv_voters},
+        "SCM": {"units_per_lsp": list(scale.scm_units)},
+        "DRM": {"artworks": scale.drm_artworks},
+        "genChain": {"num_keys": min(scale.genchain_keys, 5000)},
+    }
+    for name, kwargs in chaincode_kwargs.items():
+        chaincode = create_chaincode(name, **kwargs)
+        rng = random.Random(13)
+        store = make_state_store("couchdb")
+        store.populate(chaincode.initial_state(rng))
+        profile = chaincode.operation_profile()
+        for function in chaincode.functions():
+            stub = ChaincodeStub(store)
+            args = chaincode.sample_args(function, rng)
+            chaincode.invoke(stub, function, args)
+            counts = stub.rwset.merge_counts()
+            report.rows.append(
+                (
+                    name,
+                    function,
+                    counts["reads"],
+                    counts["writes"],
+                    counts["deletes"],
+                    counts["range_reads"],
+                    profile.get(function, ""),
+                )
+            )
+    return report
+
+
+def table04_database_types(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Table 4: CouchDB vs LevelDB across the genChain workloads.
+
+    Reports the average transaction latency, the transaction failure percentage
+    and the mean per-call latency of the state-database operations.
+    """
+    report = ExperimentReport(
+        experiment_id="table4",
+        title="Table 4: effect of the database type (genChain workloads)",
+        headers=(
+            "workload",
+            "database",
+            "latency_s",
+            "failures_pct",
+            "GetState_ms",
+            "PutState_ms",
+            "GetRange_ms",
+            "DeleteState_ms",
+        ),
+    )
+    for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
+        for database in ("couchdb", "leveldb"):
+            config = base_config(
+                scale,
+                workload=scaled_synthetic(abbreviation, scale),
+                database=database,
+            )
+            result = run_experiment(config)
+            report.rows.append(
+                (
+                    abbreviation,
+                    database,
+                    result.average_latency,
+                    result.failure_pct,
+                    result.mean_function_latency_ms("GetState"),
+                    result.mean_function_latency_ms("PutState"),
+                    result.mean_function_latency_ms("GetRange"),
+                    result.mean_function_latency_ms("DeleteState"),
+                )
+            )
+    return report
+
+
+# =============================================================================
+# Fabric 1.4 parameter study (Figures 4-16)
+# =============================================================================
+def figure04_best_block_size(
+    scale: Scale = QUICK_SCALE,
+    chaincodes: Sequence[str] = ("EHR", "DV", "DRM"),
+    clusters: Sequence[str] = ("C1", "C2"),
+) -> ExperimentReport:
+    """Figure 4: best block size at different transaction arrival rates."""
+    report = ExperimentReport(
+        experiment_id="fig4",
+        title="Figure 4: best block size at different transaction arrival rates",
+        headers=("chaincode", "cluster", "arrival_rate", "best_block_size", "worst_block_size"),
+    )
+    for chaincode in chaincodes:
+        for cluster in clusters:
+            for rate in scale.rates:
+                config = base_config(
+                    scale, cluster=cluster, workload=scaled_workload(chaincode, scale), arrival_rate=rate
+                )
+                best = find_best_block_size(config, scale.block_sizes)
+                report.rows.append(
+                    (chaincode, cluster, rate, best.best_block_size, best.worst_block_size)
+                )
+    return report
+
+
+def figure05_minmax_failures(
+    scale: Scale = QUICK_SCALE,
+    chaincodes: Sequence[str] = ("EHR", "DV", "DRM"),
+    cluster: str = "C2",
+) -> ExperimentReport:
+    """Figure 5: least and most transaction failures over the block-size sweep."""
+    report = ExperimentReport(
+        experiment_id="fig5",
+        title="Figure 5: minimum and maximum transaction failures (best vs worst block size)",
+        headers=("chaincode", "arrival_rate", "least_failures_pct", "most_failures_pct", "reduction_pct"),
+    )
+    for chaincode in chaincodes:
+        for rate in scale.rates:
+            config = base_config(
+                scale, cluster=cluster, workload=scaled_workload(chaincode, scale), arrival_rate=rate
+            )
+            best = find_best_block_size(config, scale.block_sizes)
+            report.rows.append(
+                (
+                    chaincode,
+                    rate,
+                    best.min_failures,
+                    best.max_failures,
+                    best.sweep.improvement_pct,
+                )
+            )
+    return report
+
+
+def figure06_latency_throughput(scale: Scale = QUICK_SCALE, arrival_rate: float = 100.0) -> ExperimentReport:
+    """Figure 6: latency and committed throughput at different block sizes (EHR, C2)."""
+    report = ExperimentReport(
+        experiment_id="fig6",
+        title="Figure 6: latency and committed throughput vs block size (EHR, 100 tps, C2)",
+        headers=("block_size", "latency_s", "committed_throughput_tps", "failures_pct"),
+    )
+    for block_size in scale.block_sizes:
+        config = base_config(scale, arrival_rate=arrival_rate, block_size=block_size)
+        result = run_experiment(config)
+        report.rows.append(
+            (
+                block_size,
+                result.average_latency,
+                _mean(metric.committed_throughput for metric in result.metrics),
+                result.failure_pct,
+            )
+        )
+    return report
+
+
+def figure07_mvcc_by_block_size(scale: Scale = QUICK_SCALE, arrival_rate: float = 100.0) -> ExperimentReport:
+    """Figure 7: inter- vs intra-block MVCC read conflicts vs block size (EHR, C2)."""
+    report = ExperimentReport(
+        experiment_id="fig7",
+        title="Figure 7: effect of block size on inter-/intra-block MVCC read conflicts",
+        headers=("block_size", "inter_block_pct", "intra_block_pct", "total_mvcc_pct"),
+    )
+    for block_size in scale.block_sizes:
+        config = base_config(scale, arrival_rate=arrival_rate, block_size=block_size)
+        result = run_experiment(config)
+        report.rows.append(
+            (block_size, result.inter_block_mvcc_pct, result.intra_block_mvcc_pct, result.mvcc_pct)
+        )
+    return report
+
+
+def figure08_mvcc_by_arrival_rate(scale: Scale = QUICK_SCALE, block_size: int = 100) -> ExperimentReport:
+    """Figure 8: inter- vs intra-block MVCC read conflicts vs arrival rate (EHR, C2)."""
+    report = ExperimentReport(
+        experiment_id="fig8",
+        title="Figure 8: effect of the arrival rate on inter-/intra-block MVCC read conflicts",
+        headers=("arrival_rate", "inter_block_pct", "intra_block_pct", "total_mvcc_pct"),
+    )
+    for rate in scale.rates:
+        config = base_config(scale, arrival_rate=rate, block_size=block_size)
+        result = run_experiment(config)
+        report.rows.append(
+            (rate, result.inter_block_mvcc_pct, result.intra_block_mvcc_pct, result.mvcc_pct)
+        )
+    return report
+
+
+def figure09_endorsement_by_block_size(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Figure 9: endorsement policy failures vs block size (EHR, C2)."""
+    report = ExperimentReport(
+        experiment_id="fig9",
+        title="Figure 9: endorsement policy failures vs block size (EHR)",
+        headers=("block_size", "endorsement_failures_pct"),
+    )
+    for block_size in scale.block_sizes:
+        config = base_config(scale, block_size=block_size)
+        result = run_experiment(config)
+        report.rows.append((block_size, result.endorsement_pct))
+    return report
+
+
+def figure10_phantom_by_block_size(scale: Scale = QUICK_SCALE, arrival_rate: float = 50.0) -> ExperimentReport:
+    """Figure 10: phantom read conflicts vs block size (SCM, C2)."""
+    report = ExperimentReport(
+        experiment_id="fig10",
+        title="Figure 10: phantom read conflicts vs block size (SCM)",
+        headers=("block_size", "phantom_read_pct", "failures_pct"),
+    )
+    for block_size in scale.block_sizes:
+        config = base_config(
+            scale,
+            workload=scaled_workload("SCM", scale),
+            arrival_rate=arrival_rate,
+            block_size=block_size,
+        )
+        result = run_experiment(config)
+        report.rows.append((block_size, result.phantom_pct, result.failure_pct))
+    return report
+
+
+def figure11_database_effect(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Figure 11: CouchDB vs LevelDB — latency, endorsement failures, MVCC conflicts (EHR)."""
+    report = ExperimentReport(
+        experiment_id="fig11",
+        title="Figure 11: effect of the database type (EHR, uniform workload)",
+        headers=("database", "latency_s", "endorsement_pct", "inter_block_pct", "intra_block_pct"),
+    )
+    for database in ("couchdb", "leveldb"):
+        config = base_config(scale, database=database)
+        result = run_experiment(config)
+        report.rows.append(
+            (
+                database,
+                result.average_latency,
+                result.endorsement_pct,
+                result.inter_block_mvcc_pct,
+                result.intra_block_mvcc_pct,
+            )
+        )
+    return report
+
+
+def figure12_organizations(
+    scale: Scale = QUICK_SCALE, organization_counts: Sequence[int] = (2, 4, 6, 8, 10)
+) -> ExperimentReport:
+    """Figure 12: effect of the number of organizations (C2, 4 peers per org)."""
+    report = ExperimentReport(
+        experiment_id="fig12",
+        title="Figure 12: effect of the number of organizations",
+        headers=("organizations", "latency_s", "endorsement_pct"),
+    )
+    for organizations in organization_counts:
+        config = base_config(scale, orgs=organizations, peers_per_org=4)
+        result = run_experiment(config)
+        report.rows.append((organizations, result.average_latency, result.endorsement_pct))
+    return report
+
+
+def figure13_endorsement_policies(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Figure 13: effect of the endorsement policies P0-P3 (Table 5)."""
+    report = ExperimentReport(
+        experiment_id="fig13",
+        title="Figure 13: effect of the endorsement policy",
+        headers=("policy", "latency_s", "endorsement_pct"),
+    )
+    for policy in ("P0", "P1", "P2", "P3"):
+        config = base_config(scale, endorsement_policy=policy)
+        result = run_experiment(config)
+        report.rows.append((policy, result.average_latency, result.endorsement_pct))
+    return report
+
+
+def figure14_workload_mix(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Figure 14: effect of the workload mix (genChain, C2)."""
+    report = ExperimentReport(
+        experiment_id="fig14",
+        title="Figure 14: transaction failures per workload mix (genChain)",
+        headers=("workload", "failures_pct"),
+    )
+    for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
+        config = base_config(scale, workload=scaled_synthetic(abbreviation, scale))
+        result = run_experiment(config)
+        report.rows.append((abbreviation, result.failure_pct))
+    return report
+
+
+def figure15_zipf_skew(scale: Scale = QUICK_SCALE, skews: Sequence[float] = (0.0, 1.0, 2.0)) -> ExperimentReport:
+    """Figure 15: effect of the Zipfian key skew (genChain read/update workload)."""
+    report = ExperimentReport(
+        experiment_id="fig15",
+        title="Figure 15: transaction failures vs Zipfian skew",
+        headers=("zipf_skew", "failures_pct"),
+    )
+    for skew in skews:
+        config = base_config(
+            scale,
+            workload=read_update_uniform(num_keys=scale.genchain_keys),
+            zipf_skew=skew,
+        )
+        result = run_experiment(config)
+        report.rows.append((skew, result.failure_pct))
+    return report
+
+
+def figure16_network_delay(
+    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100)
+) -> ExperimentReport:
+    """Figure 16: Fabric 1.4 with and without an induced 100 ms network delay."""
+    report = ExperimentReport(
+        experiment_id="fig16",
+        title="Figure 16: effect of an induced network delay on one organization",
+        headers=("arrival_rate", "delayed", "latency_s", "endorsement_pct", "mvcc_pct"),
+    )
+    for rate in rates:
+        for delayed in (False, True):
+            config = base_config(
+                scale, arrival_rate=rate, delayed_orgs=(0,) if delayed else ()
+            )
+            result = run_experiment(config)
+            report.rows.append(
+                (rate, delayed, result.average_latency, result.endorsement_pct, result.mvcc_pct)
+            )
+    return report
+
+
+# =============================================================================
+# Fabric++ (Figures 17-19)
+# =============================================================================
+def figure17_fabricpp_block_size(
+    scale: Scale = QUICK_SCALE, block_sizes: Sequence[int] = (10, 50, 100)
+) -> ExperimentReport:
+    """Figure 17: Fabric++ vs Fabric 1.4 at different block sizes."""
+    report = ExperimentReport(
+        experiment_id="fig17",
+        title="Figure 17: Fabric++ vs Fabric 1.4 over the block size",
+        headers=("variant", "block_size", "failures_pct", "endorsement_pct"),
+    )
+    for variant in ("fabric-1.4", "fabric++"):
+        for block_size in block_sizes:
+            config = base_config(scale, variant=variant, block_size=block_size)
+            result = run_experiment(config)
+            report.rows.append((variant, block_size, result.failure_pct, result.endorsement_pct))
+    return report
+
+
+def figure18_fabricpp_chaincodes(
+    scale: Scale = QUICK_SCALE, chaincodes: Sequence[str] = ("EHR", "DV", "SCM", "DRM")
+) -> ExperimentReport:
+    """Figure 18: Fabric++ vs Fabric 1.4 across the use-case chaincodes."""
+    report = ExperimentReport(
+        experiment_id="fig18",
+        title="Figure 18: Fabric++ vs Fabric 1.4 across chaincodes",
+        headers=("variant", "chaincode", "latency_s", "failures_pct"),
+    )
+    for variant in ("fabric-1.4", "fabric++"):
+        for chaincode in chaincodes:
+            config = base_config(scale, variant=variant, workload=scaled_workload(chaincode, scale))
+            result = run_experiment(config)
+            report.rows.append((variant, chaincode, result.average_latency, result.failure_pct))
+    return report
+
+
+def figure19_fabricpp_workloads(
+    scale: Scale = QUICK_SCALE, skews: Sequence[float] = (0.0, 1.0, 2.0)
+) -> ExperimentReport:
+    """Figure 19: Fabric++ vs Fabric 1.4 across workloads and key skew."""
+    report = ExperimentReport(
+        experiment_id="fig19",
+        title="Figure 19: Fabric++ vs Fabric 1.4 across workloads and Zipfian skew",
+        headers=("variant", "series", "point", "failures_pct"),
+    )
+    for variant in ("fabric-1.4", "fabric++"):
+        for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
+            config = base_config(scale, variant=variant, workload=scaled_synthetic(abbreviation, scale))
+            result = run_experiment(config)
+            report.rows.append((variant, "workload", abbreviation, result.failure_pct))
+        for skew in skews:
+            config = base_config(
+                scale,
+                variant=variant,
+                workload=read_update_uniform(num_keys=scale.genchain_keys),
+                zipf_skew=skew,
+            )
+            result = run_experiment(config)
+            report.rows.append((variant, "skew", str(skew), result.failure_pct))
+    return report
+
+
+# =============================================================================
+# Streamchain (Figures 20-23)
+# =============================================================================
+def figure20_streamchain_load(
+    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100), cluster: str = "C1"
+) -> ExperimentReport:
+    """Figure 20: Streamchain vs Fabric 1.4 at low arrival rates (block size 10)."""
+    report = ExperimentReport(
+        experiment_id="fig20",
+        title="Figure 20: Streamchain vs Fabric 1.4 (latency, endorsement, MVCC)",
+        headers=("variant", "arrival_rate", "latency_s", "endorsement_pct", "mvcc_pct"),
+    )
+    for variant in ("fabric-1.4", "streamchain"):
+        for rate in rates:
+            config = base_config(
+                scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=10
+            )
+            result = run_experiment(config)
+            report.rows.append(
+                (variant, rate, result.average_latency, result.endorsement_pct, result.mvcc_pct)
+            )
+    return report
+
+
+def figure21_streamchain_throughput(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Figure 21: committed transaction throughput at high arrival rates.
+
+    C1 at 150 and 200 tps, C2 at 100 tps; Fabric 1.4 uses a block size of 50
+    (the paper reports similar results for block sizes 10, 50 and 100 — the
+    smallest setting overloads the simulated ordering service sooner than the
+    real system, so the mid setting is used here).
+    """
+    report = ExperimentReport(
+        experiment_id="fig21",
+        title="Figure 21: committed transaction throughput at high arrival rates",
+        headers=("cluster", "arrival_rate", "variant", "committed_throughput_tps"),
+    )
+    cells = [("C1", 150), ("C1", 200), ("C2", 100)]
+    for cluster, rate in cells:
+        for variant in ("fabric-1.4", "streamchain"):
+            config = base_config(
+                scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=50
+            )
+            result = run_experiment(config)
+            throughput = _mean(metric.committed_throughput for metric in result.metrics)
+            report.rows.append((cluster, rate, variant, throughput))
+    return report
+
+
+def figure22_streamchain_workloads(
+    scale: Scale = QUICK_SCALE, arrival_rate: float = 50.0, skews: Sequence[float] = (0.0, 1.0, 2.0)
+) -> ExperimentReport:
+    """Figure 22: Streamchain vs Fabric 1.4 across workloads and key skew (C2, 50 tps)."""
+    report = ExperimentReport(
+        experiment_id="fig22",
+        title="Figure 22: Streamchain vs Fabric 1.4 across workloads and Zipfian skew",
+        headers=("variant", "series", "point", "failures_pct"),
+    )
+    for variant in ("fabric-1.4", "streamchain"):
+        for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
+            config = base_config(
+                scale,
+                variant=variant,
+                workload=scaled_synthetic(abbreviation, scale),
+                arrival_rate=arrival_rate,
+            )
+            result = run_experiment(config)
+            report.rows.append((variant, "workload", abbreviation, result.failure_pct))
+        for skew in skews:
+            config = base_config(
+                scale,
+                variant=variant,
+                workload=read_update_uniform(num_keys=scale.genchain_keys),
+                arrival_rate=arrival_rate,
+                zipf_skew=skew,
+            )
+            result = run_experiment(config)
+            report.rows.append((variant, "skew", str(skew), result.failure_pct))
+    return report
+
+
+def figure23_streamchain_ramdisk(
+    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50), cluster: str = "C1"
+) -> ExperimentReport:
+    """Figure 23: Streamchain with and without RAM-disk storage."""
+    report = ExperimentReport(
+        experiment_id="fig23",
+        title="Figure 23: Streamchain with and without a RAM disk",
+        headers=("system", "arrival_rate", "latency_s", "endorsement_pct", "mvcc_pct"),
+    )
+    systems = [
+        ("Fabric 1.4", "fabric-1.4", True),
+        ("Streamchain", "streamchain", True),
+        ("Streamchain w/o ramdisk", "streamchain", False),
+    ]
+    for label, variant, ram_disk in systems:
+        for rate in rates:
+            config = base_config(
+                scale,
+                cluster=cluster,
+                variant=variant,
+                arrival_rate=rate,
+                block_size=10,
+                use_ram_disk=ram_disk,
+            )
+            result = run_experiment(config)
+            report.rows.append(
+                (label, rate, result.average_latency, result.endorsement_pct, result.mvcc_pct)
+            )
+    return report
+
+
+# =============================================================================
+# FabricSharp (Figures 24-25)
+# =============================================================================
+def figure24_fabricsharp_load(
+    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100)
+) -> ExperimentReport:
+    """Figure 24: FabricSharp vs Fabric 1.4 — failures, endorsement failures, throughput."""
+    report = ExperimentReport(
+        experiment_id="fig24",
+        title="Figure 24: FabricSharp vs Fabric 1.4",
+        headers=(
+            "variant",
+            "arrival_rate",
+            "failures_pct",
+            "endorsement_pct",
+            "mvcc_pct",
+            "committed_throughput_tps",
+        ),
+    )
+    for variant in ("fabric-1.4", "fabricsharp"):
+        for rate in rates:
+            config = base_config(scale, variant=variant, arrival_rate=rate)
+            result = run_experiment(config)
+            throughput = _mean(metric.committed_throughput for metric in result.metrics)
+            report.rows.append(
+                (
+                    variant,
+                    rate,
+                    result.failure_pct,
+                    result.endorsement_pct,
+                    result.mvcc_pct,
+                    throughput,
+                )
+            )
+    return report
+
+
+def figure25_fabricsharp_workloads(
+    scale: Scale = QUICK_SCALE, skews: Sequence[float] = (0.0, 1.0, 2.0)
+) -> ExperimentReport:
+    """Figure 25: FabricSharp vs Fabric 1.4 across workloads and key skew.
+
+    The range-heavy workload is omitted because FabricSharp does not support
+    range queries; the minority share of range reads is also removed from the
+    other synthetic workloads when running on FabricSharp (Section 5.4.3).
+    """
+    report = ExperimentReport(
+        experiment_id="fig25",
+        title="Figure 25: FabricSharp vs Fabric 1.4 across workloads and Zipfian skew",
+        headers=("variant", "series", "point", "failures_pct"),
+    )
+    for variant in ("fabric-1.4", "fabricsharp"):
+        include_range = variant != "fabricsharp"
+        for abbreviation in ("RH", "IH", "UH", "DH"):
+            config = base_config(
+                scale,
+                variant=variant,
+                workload=scaled_synthetic(abbreviation, scale, include_range=include_range),
+            )
+            result = run_experiment(config)
+            report.rows.append((variant, "workload", abbreviation, result.failure_pct))
+        for skew in skews:
+            config = base_config(
+                scale,
+                variant=variant,
+                workload=read_update_uniform(num_keys=scale.genchain_keys),
+                zipf_skew=skew,
+            )
+            result = run_experiment(config)
+            report.rows.append((variant, "skew", str(skew), result.failure_pct))
+    return report
+
+
+# =============================================================================
+# System comparison (Figure 26) and ablations
+# =============================================================================
+def figure26_system_comparison(
+    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100), cluster: str = "C1"
+) -> ExperimentReport:
+    """Figure 26: all four Fabric systems compared on the C1 cluster (EHR)."""
+    report = ExperimentReport(
+        experiment_id="fig26",
+        title="Figure 26: comparison of Fabric 1.4, Fabric++, Streamchain and FabricSharp",
+        headers=("variant", "arrival_rate", "latency_s", "endorsement_pct", "mvcc_pct", "failures_pct"),
+    )
+    for variant in ("fabric-1.4", "fabric++", "streamchain", "fabricsharp"):
+        for rate in rates:
+            config = base_config(
+                scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=10
+            )
+            result = run_experiment(config)
+            report.rows.append(
+                (
+                    variant,
+                    rate,
+                    result.average_latency,
+                    result.endorsement_pct,
+                    result.mvcc_pct,
+                    result.failure_pct,
+                )
+            )
+    return report
+
+
+def ablation_adaptive_block_size(
+    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (25, 100, 200)
+) -> ExperimentReport:
+    """Ablation (Section 6.2): static block sizes vs the adaptive controller.
+
+    For every arrival rate, the failure percentage of a small static block
+    size, a large static block size and the block size suggested by the
+    adaptive controller are compared.
+    """
+    report = ExperimentReport(
+        experiment_id="ablation-adaptive",
+        title="Ablation: adaptive block size vs static block sizes",
+        headers=("arrival_rate", "policy", "block_size", "failures_pct"),
+    )
+    controller = AdaptiveBlockSizeController(
+        min_block_size=min(scale.block_sizes), max_block_size=max(scale.block_sizes)
+    )
+    for rate in rates:
+        adaptive_size = controller.suggest(rate)
+        policies = [
+            ("static-small", min(scale.block_sizes)),
+            ("static-large", max(scale.block_sizes)),
+            ("adaptive", adaptive_size),
+        ]
+        for label, block_size in policies:
+            config = base_config(scale, arrival_rate=rate, block_size=block_size)
+            result = run_experiment(config)
+            report.rows.append((rate, label, block_size, result.failure_pct))
+    return report
+
+
+def ablation_readonly_filtering(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Ablation (Section 6.1, client design): skip ordering for read-only transactions."""
+    report = ExperimentReport(
+        experiment_id="ablation-readonly",
+        title="Ablation: submitting vs skipping read-only transactions",
+        headers=("submit_read_only", "failures_pct", "latency_s", "committed_throughput_tps"),
+    )
+    for submit in (True, False):
+        config = base_config(scale, submit_read_only=submit)
+        result = run_experiment(config)
+        throughput = _mean(metric.committed_throughput for metric in result.metrics)
+        report.rows.append((submit, result.failure_pct, result.average_latency, throughput))
+    return report
+
+
+def ablation_client_side_check(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+    """Ablation (Section 2, step 3): client-side endorsement consistency check."""
+    report = ExperimentReport(
+        experiment_id="ablation-client-check",
+        title="Ablation: optional client-side check of endorsement consistency",
+        headers=("client_side_check", "failures_pct", "endorsement_pct", "latency_s"),
+    )
+    for check in (False, True):
+        config = base_config(scale, client_side_check=check)
+        result = run_experiment(config)
+        report.rows.append(
+            (check, result.failure_pct, result.endorsement_pct, result.average_latency)
+        )
+    return report
+
+
+#: All experiment functions keyed by their artefact id (used by EXPERIMENTS.md).
+EXPERIMENT_INDEX = {
+    "table2": table02_chaincode_profiles,
+    "table4": table04_database_types,
+    "fig4": figure04_best_block_size,
+    "fig5": figure05_minmax_failures,
+    "fig6": figure06_latency_throughput,
+    "fig7": figure07_mvcc_by_block_size,
+    "fig8": figure08_mvcc_by_arrival_rate,
+    "fig9": figure09_endorsement_by_block_size,
+    "fig10": figure10_phantom_by_block_size,
+    "fig11": figure11_database_effect,
+    "fig12": figure12_organizations,
+    "fig13": figure13_endorsement_policies,
+    "fig14": figure14_workload_mix,
+    "fig15": figure15_zipf_skew,
+    "fig16": figure16_network_delay,
+    "fig17": figure17_fabricpp_block_size,
+    "fig18": figure18_fabricpp_chaincodes,
+    "fig19": figure19_fabricpp_workloads,
+    "fig20": figure20_streamchain_load,
+    "fig21": figure21_streamchain_throughput,
+    "fig22": figure22_streamchain_workloads,
+    "fig23": figure23_streamchain_ramdisk,
+    "fig24": figure24_fabricsharp_load,
+    "fig25": figure25_fabricsharp_workloads,
+    "fig26": figure26_system_comparison,
+    "ablation-adaptive": ablation_adaptive_block_size,
+    "ablation-readonly": ablation_readonly_filtering,
+    "ablation-client-check": ablation_client_side_check,
+}
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

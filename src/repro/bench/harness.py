@@ -1,0 +1,178 @@
+"""Experiment harness: configure, run, repeat and average experiments.
+
+An :class:`ExperimentConfig` bundles the control variables of Table 3 — the
+Fabric variant, the workload (chaincode + transaction mix), the network
+configuration, the arrival rate, the Zipfian skew — together with the simulated
+duration, the number of repetitions and the seed.  ``run_experiment`` executes
+the repetitions and returns an :class:`ExperimentResult` whose properties
+average the metrics the same way the paper averages its three repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
+
+from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
+from repro.chaincode.base import Chaincode
+from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
+from repro.core.metrics import ExperimentMetrics
+from repro.errors import ConfigurationError
+from repro.fabric.variant import create_variant
+from repro.network.config import NetworkConfig
+from repro.network.network import FabricNetwork
+from repro.workload.distributions import make_distribution
+from repro.workload.spec import WorkloadSpec
+from repro.workload.workloads import uniform_workload
+
+
+def default_workload() -> WorkloadSpec:
+    """The Table 3 default workload: a uniform mix over the EHR chaincode."""
+    return uniform_workload("EHR")
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment: variant + workload + network + load (paper Table 3)."""
+
+    variant: str = "fabric-1.4"
+    workload: WorkloadSpec = field(default_factory=default_workload)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    arrival_rate: float = 100.0
+    duration: float = 20.0
+    zipf_skew: float = 1.0
+    repetitions: int = 1
+    seed: int = 7
+    chaincode_factory: Optional[Callable[[], Chaincode]] = None
+
+    def validate(self) -> None:
+        """Reject configurations the harness cannot run."""
+        if self.arrival_rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {self.arrival_rate}")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.repetitions < 1:
+            raise ConfigurationError(f"need at least one repetition, got {self.repetitions}")
+        if self.zipf_skew < 0:
+            raise ConfigurationError(f"the Zipfian skew must be >= 0, got {self.zipf_skew}")
+        if self.chaincode_factory is None and self.workload.chaincode not in CHAINCODE_REGISTRY:
+            known = ", ".join(sorted(CHAINCODE_REGISTRY))
+            raise ConfigurationError(
+                f"workload chaincode {self.workload.chaincode!r} is not registered "
+                f"({known}); pass chaincode_factory for custom chaincodes"
+            )
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """A copy of the configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def build_chaincode(self) -> Chaincode:
+        """Instantiate a fresh chaincode for one repetition."""
+        if self.chaincode_factory is not None:
+            return self.chaincode_factory()
+        return create_chaincode(self.workload.chaincode, **self.workload.chaincode_kwargs)
+
+
+@dataclass
+class ExperimentResult:
+    """The repetitions of one experiment plus averaged convenience accessors."""
+
+    config: ExperimentConfig
+    analyses: List[ExperimentAnalysis] = field(default_factory=list)
+
+    @property
+    def metrics(self) -> List[ExperimentMetrics]:
+        """Metrics of every repetition."""
+        return [analysis.metrics for analysis in self.analyses]
+
+    def _mean(self, getter: Callable[[ExperimentMetrics], float]) -> float:
+        values = [getter(metric) for metric in self.metrics]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def failure_pct(self) -> float:
+        """Average total transaction failure percentage."""
+        return self._mean(lambda metric: metric.failure_pct)
+
+    @property
+    def endorsement_pct(self) -> float:
+        """Average endorsement policy failure percentage."""
+        return self._mean(lambda metric: metric.failure_report.endorsement_pct)
+
+    @property
+    def mvcc_pct(self) -> float:
+        """Average MVCC read conflict percentage (intra + inter)."""
+        return self._mean(lambda metric: metric.failure_report.mvcc_pct)
+
+    @property
+    def intra_block_mvcc_pct(self) -> float:
+        """Average intra-block MVCC read conflict percentage."""
+        return self._mean(lambda metric: metric.failure_report.intra_block_mvcc_pct)
+
+    @property
+    def inter_block_mvcc_pct(self) -> float:
+        """Average inter-block MVCC read conflict percentage."""
+        return self._mean(lambda metric: metric.failure_report.inter_block_mvcc_pct)
+
+    @property
+    def phantom_pct(self) -> float:
+        """Average phantom read conflict percentage."""
+        return self._mean(lambda metric: metric.failure_report.phantom_pct)
+
+    @property
+    def early_abort_pct(self) -> float:
+        """Average percentage of transactions aborted before/during ordering."""
+        return self._mean(lambda metric: metric.failure_report.early_abort_pct)
+
+    @property
+    def average_latency(self) -> float:
+        """Average total transaction latency in seconds."""
+        return self._mean(lambda metric: metric.average_latency)
+
+    @property
+    def committed_throughput(self) -> float:
+        """Average committed transaction throughput in tps."""
+        return self._mean(lambda metric: metric.committed_throughput)
+
+    @property
+    def submitted_transactions(self) -> int:
+        """Total transactions submitted across repetitions."""
+        return sum(metric.submitted_transactions for metric in self.metrics)
+
+    def mean_function_latency_ms(self, operation: str) -> float:
+        """Average per-call latency of a state-database operation (Table 4)."""
+        values = [
+            metric.function_call_latency_ms[operation]
+            for metric in self.metrics
+            if operation in metric.function_call_latency_ms
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run all repetitions of an experiment and analyze each run's ledger."""
+    config.validate()
+    analyzer = LedgerAnalyzer()
+    analyses: List[ExperimentAnalysis] = []
+    for repetition in range(config.repetitions):
+        chaincode = config.build_chaincode()
+        variant = create_variant(config.variant)
+        network = FabricNetwork(
+            config=config.network.copy(),
+            chaincode=chaincode,
+            variant=variant,
+            seed=config.seed + repetition,
+        )
+        record = network.run(
+            mix=config.workload.mix,
+            arrival_rate=config.arrival_rate,
+            duration=config.duration,
+            key_distribution=make_distribution(config.zipf_skew),
+            workload_name=config.workload.name,
+        )
+        analyses.append(analyzer.analyze(record))
+    return ExperimentResult(config=config, analyses=analyses)

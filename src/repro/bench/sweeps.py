@@ -1,0 +1,81 @@
+"""Parameter sweeps: block size, arrival rate and best-block-size search.
+
+These helpers implement the sweep structure behind Figures 4-10 of the paper:
+for a fixed workload, the block size and the transaction arrival rate are
+varied and the resulting failure percentages recorded; the *best* block size is
+the one with the least failures and the *worst* the one with the most
+(Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.adaptive import SweepResult
+from repro.errors import ConfigurationError
+
+
+def block_size_sweep(
+    base: ExperimentConfig, block_sizes: Sequence[int]
+) -> Dict[int, ExperimentResult]:
+    """Run ``base`` once per block size and return the results keyed by size."""
+    if not block_sizes:
+        raise ConfigurationError("block_size_sweep needs at least one block size")
+    results: Dict[int, ExperimentResult] = {}
+    for block_size in block_sizes:
+        config = base.with_overrides(network=base.network.copy(block_size=block_size))
+        results[block_size] = run_experiment(config)
+    return results
+
+
+def arrival_rate_sweep(
+    base: ExperimentConfig, arrival_rates: Sequence[float]
+) -> Dict[float, ExperimentResult]:
+    """Run ``base`` once per arrival rate and return the results keyed by rate."""
+    if not arrival_rates:
+        raise ConfigurationError("arrival_rate_sweep needs at least one arrival rate")
+    results: Dict[float, ExperimentResult] = {}
+    for rate in arrival_rates:
+        results[rate] = run_experiment(base.with_overrides(arrival_rate=rate))
+    return results
+
+
+@dataclass
+class BestBlockSizeResult:
+    """Best/worst block size and the corresponding failure percentages."""
+
+    arrival_rate: float
+    sweep: SweepResult
+
+    @property
+    def best_block_size(self) -> int:
+        """Block size with the least failed transactions at this rate."""
+        return self.sweep.best_block_size
+
+    @property
+    def worst_block_size(self) -> int:
+        """Block size with the most failed transactions at this rate."""
+        return self.sweep.worst_block_size
+
+    @property
+    def min_failures(self) -> float:
+        """Failure percentage at the best block size (Figure 5, "least")."""
+        return self.sweep.min_failures
+
+    @property
+    def max_failures(self) -> float:
+        """Failure percentage at the worst block size (Figure 5, "most")."""
+        return self.sweep.max_failures
+
+
+def find_best_block_size(
+    base: ExperimentConfig, block_sizes: Sequence[int]
+) -> BestBlockSizeResult:
+    """Sweep block sizes at ``base.arrival_rate`` and pick the best/worst."""
+    results = block_size_sweep(base, block_sizes)
+    sweep = SweepResult(
+        failures_by_block_size={size: result.failure_pct for size, result in results.items()}
+    )
+    return BestBlockSizeResult(arrival_rate=base.arrival_rate, sweep=sweep)

@@ -1,0 +1,55 @@
+"""Chaincodes (smart contracts) and the chaincode generator.
+
+The package provides the Fabric-like chaincode execution API
+(:class:`repro.chaincode.api.ChaincodeStub`), a base class for chaincodes, the
+four use-case chaincodes of the paper's Table 2 (EHR, DV, SCM, DRM), the
+synthetic ``genChain`` chaincode of Section 4.4, and a chaincode generator that
+emits new chaincodes from a declarative specification.
+"""
+
+from repro.chaincode.api import ChaincodeStub
+from repro.chaincode.base import Chaincode, ChaincodeResponse, chaincode_function
+from repro.chaincode.drm import DigitalRightsChaincode
+from repro.chaincode.dv import DigitalVotingChaincode
+from repro.chaincode.ehr import ElectronicHealthRecordsChaincode
+from repro.chaincode.generator import ChaincodeGenerator, FunctionSpec, GeneratedChaincode
+from repro.chaincode.genchain import GenChainChaincode
+from repro.chaincode.scm import SupplyChainChaincode
+
+#: Registry of the chaincodes used throughout the paper's experiments, keyed by
+#: the short names used in the figures (EHR, DV, SCM, DRM, genChain).
+CHAINCODE_REGISTRY = {
+    "EHR": ElectronicHealthRecordsChaincode,
+    "DV": DigitalVotingChaincode,
+    "SCM": SupplyChainChaincode,
+    "DRM": DigitalRightsChaincode,
+    "genChain": GenChainChaincode,
+}
+
+
+def create_chaincode(name: str, **kwargs) -> Chaincode:
+    """Instantiate one of the registered chaincodes by its short name."""
+    try:
+        factory = CHAINCODE_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(CHAINCODE_REGISTRY))
+        raise KeyError(f"unknown chaincode {name!r}; known chaincodes: {known}") from exc
+    return factory(**kwargs)
+
+
+__all__ = [
+    "ChaincodeStub",
+    "Chaincode",
+    "ChaincodeResponse",
+    "chaincode_function",
+    "ElectronicHealthRecordsChaincode",
+    "DigitalVotingChaincode",
+    "SupplyChainChaincode",
+    "DigitalRightsChaincode",
+    "GenChainChaincode",
+    "ChaincodeGenerator",
+    "GeneratedChaincode",
+    "FunctionSpec",
+    "CHAINCODE_REGISTRY",
+    "create_chaincode",
+]

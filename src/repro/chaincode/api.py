@@ -1,0 +1,134 @@
+"""The chaincode execution API (Fabric's ``ChaincodeStub`` analog).
+
+During the execution phase an endorsing peer *simulates* the transaction
+against its local world state: reads return the currently committed value and
+record ``(key, version)`` pairs into the read set, writes are buffered into the
+write set, and range/rich queries record range reads.  The stub also charges
+the latency of every state-database call according to the backend's
+:class:`~repro.ledger.kvstore.DatabaseLatencyProfile`, which is how the
+CouchDB-vs-LevelDB effects of Table 4 and Figure 11 arise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import UnsupportedFeatureError
+from repro.ledger.couchdb import CouchDBStore, RichSelector
+from repro.ledger.kvstore import VersionedKVStore
+from repro.ledger.rwset import KeyRead, KeyWrite, RangeRead, ReadWriteSet
+
+
+class ChaincodeStub:
+    """Execution context handed to a chaincode function by an endorsing peer."""
+
+    def __init__(self, store: VersionedKVStore) -> None:
+        self.store = store
+        self.rwset = ReadWriteSet()
+        self.execution_cost = 0.0
+        self.db_call_latency: Dict[str, float] = {}
+        self._pending_writes: Dict[str, KeyWrite] = {}
+
+    # ----------------------------------------------------------------- helpers
+    def _charge(self, operation: str, cost: float) -> None:
+        self.execution_cost += cost
+        self.db_call_latency[operation] = self.db_call_latency.get(operation, 0.0) + cost
+
+    # ------------------------------------------------------------------- reads
+    def get_state(self, key: str) -> Optional[Any]:
+        """Read a key from the committed world state.
+
+        Returns ``None`` when the key does not exist.  Reads are recorded in
+        the read set with the version observed at endorsement time (``None``
+        for missing keys), which is what MVCC validation later checks.
+        """
+        self._charge("GetState", self.store.latency.get_state)
+        entry = self.store.get(key)
+        version = entry.version if entry is not None else None
+        self.rwset.reads.append(KeyRead(key=key, version=version))
+        return entry.value if entry is not None else None
+
+    def get_state_by_range(self, start_key: str, end_key: str) -> List[Tuple[str, Any]]:
+        """Range read over ``[start_key, end_key)`` with phantom detection.
+
+        The validator re-executes this range in the validation phase; any
+        inserted, deleted or updated key inside the interval fails the
+        transaction with a phantom read conflict (paper Section 3.2.3).
+        """
+        results = self.store.range(start_key, end_key)
+        self._charge("GetRange", self.store.latency.range_cost(len(results)))
+        reads = [KeyRead(key=key, version=entry.version) for key, entry in results]
+        self.rwset.range_reads.append(
+            RangeRead(
+                start_key=start_key,
+                end_key=end_key,
+                reads=reads,
+                phantom_detection=True,
+                rich_query=False,
+            )
+        )
+        return [(key, entry.value) for key, entry in results]
+
+    def get_query_result(self, selector: RichSelector) -> List[Tuple[str, Any]]:
+        """Rich (Mango-style) query; only supported on CouchDB.
+
+        Fabric does not re-execute rich queries during validation, so these
+        reads can never fail with a phantom read conflict — the paper flags the
+        corresponding chaincode functions with ``RR*`` in Table 2.
+        """
+        if not isinstance(self.store, CouchDBStore):
+            raise UnsupportedFeatureError(
+                "GetQueryResult (rich queries) requires CouchDB as the state database"
+            )
+        results = self.store.rich_query(selector)
+        self._charge("GetQueryResult", self.store.latency.rich_query_cost(len(results)))
+        reads = [KeyRead(key=key, version=entry.version) for key, entry in results]
+        self.rwset.range_reads.append(
+            RangeRead(
+                start_key="",
+                end_key="",
+                reads=reads,
+                phantom_detection=False,
+                rich_query=True,
+            )
+        )
+        return [(key, entry.value) for key, entry in results]
+
+    # ------------------------------------------------------------------ writes
+    def put_state(self, key: str, value: Any) -> None:
+        """Buffer a write; it is applied only if the transaction commits."""
+        self._charge("PutState", self.store.latency.put_state)
+        write = KeyWrite(key=key, value=value, is_delete=False)
+        self._record_write(write)
+
+    def del_state(self, key: str) -> None:
+        """Buffer a deletion; it is applied only if the transaction commits."""
+        self._charge("DeleteState", self.store.latency.delete_state)
+        write = KeyWrite(key=key, value=None, is_delete=True)
+        self._record_write(write)
+
+    def _record_write(self, write: KeyWrite) -> None:
+        # Fabric keeps one write per key in the write set (the last one wins).
+        if write.key in self._pending_writes:
+            previous = self._pending_writes[write.key]
+            index = self.rwset.writes.index(previous)
+            self.rwset.writes[index] = write
+        else:
+            self.rwset.writes.append(write)
+        self._pending_writes[write.key] = write
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def read_count(self) -> int:
+        """Number of point reads performed so far."""
+        return len(self.rwset.reads)
+
+    @property
+    def write_count(self) -> int:
+        """Number of distinct keys written (including deletions)."""
+        return len(self.rwset.writes)
+
+    @property
+    def range_read_count(self) -> int:
+        """Number of range/rich queries performed so far."""
+        return len(self.rwset.range_reads)

@@ -1,0 +1,182 @@
+"""Command-line interface: run experiments and regenerate paper artefacts.
+
+The CLI exposes the three things a practitioner typically wants to do with the
+library without writing Python:
+
+``python -m repro run``
+    Run one experiment (variant, chaincode, block size, arrival rate, ...) and
+    print the failure breakdown plus the Section 6 recommendations.
+
+``python -m repro compare``
+    Run the same workload on several Fabric variants and print a comparison
+    table (a miniature Figure 26).
+
+``python -m repro figure <id>``
+    Regenerate one of the paper's tables/figures (e.g. ``fig7``, ``table4``)
+    at a chosen scale and print the rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.experiments import EXPERIMENT_INDEX, PAPER_SCALE, QUICK_SCALE, STANDARD_SCALE
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.reporting import format_table
+from repro.chaincode import CHAINCODE_REGISTRY
+from repro.core.recommendations import RecommendationEngine
+from repro.errors import ReproError
+from repro.fabric.variant import available_variants
+from repro.network.config import CLUSTER_PRESETS, NetworkConfig
+from repro.workload.workloads import uniform_workload
+
+_SCALES = {"quick": QUICK_SCALE, "standard": STANDARD_SCALE, "paper": PAPER_SCALE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Why Do My Blockchain Transactions Fail?' (SIGMOD 2021)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and explain the failures")
+    _add_experiment_arguments(run_parser)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare Fabric variants on the same workload"
+    )
+    _add_experiment_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--variants",
+        nargs="+",
+        default=["fabric-1.4", "fabric++", "streamchain", "fabricsharp"],
+        help="variants to compare",
+    )
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a paper table or figure")
+    figure_parser.add_argument(
+        "artefact", choices=sorted(EXPERIMENT_INDEX), help="artefact id, e.g. fig7 or table4"
+    )
+    figure_parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick", help="experiment scale"
+    )
+    return parser
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--variant", default="fabric-1.4", choices=available_variants())
+    parser.add_argument("--chaincode", default="EHR", choices=sorted(CHAINCODE_REGISTRY))
+    parser.add_argument("--cluster", default="C1", choices=sorted(CLUSTER_PRESETS))
+    parser.add_argument("--database", default="couchdb", choices=["couchdb", "leveldb"])
+    parser.add_argument("--block-size", type=int, default=100)
+    parser.add_argument("--policy", default="P0", choices=["P0", "P1", "P2", "P3"])
+    parser.add_argument("--rate", type=float, default=100.0, help="arrival rate in tps")
+    parser.add_argument("--duration", type=float, default=15.0, help="simulated seconds")
+    parser.add_argument("--skew", type=float, default=1.0, help="Zipfian key skew")
+    parser.add_argument("--repetitions", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        variant=variant or args.variant,
+        workload=uniform_workload(args.chaincode),
+        network=NetworkConfig(
+            cluster=args.cluster,
+            database=args.database,
+            block_size=args.block_size,
+            endorsement_policy=args.policy,
+        ),
+        arrival_rate=args.rate,
+        duration=args.duration,
+        zipf_skew=args.skew,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_experiment_config(args))
+    analysis = result.analyses[0]
+    report = analysis.failure_report
+    rows = [
+        ("submitted transactions", analysis.metrics.submitted_transactions),
+        ("committed transactions", analysis.metrics.committed_transactions),
+        ("average latency (s)", analysis.metrics.average_latency),
+        ("committed throughput (tps)", analysis.metrics.committed_throughput),
+        ("total failures (%)", report.total_failure_pct),
+        ("endorsement policy failures (%)", report.endorsement_pct),
+        ("intra-block MVCC conflicts (%)", report.intra_block_mvcc_pct),
+        ("inter-block MVCC conflicts (%)", report.inter_block_mvcc_pct),
+        ("phantom read conflicts (%)", report.phantom_pct),
+    ]
+    print(format_table(("metric", "value"), rows, title="Experiment result"))
+    recommendations = RecommendationEngine().recommend(analysis)
+    if recommendations:
+        print("\nRecommendations (paper Section 6):")
+        for recommendation in recommendations:
+            print(f"  - {recommendation.title} [{recommendation.paper_section}]")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for variant in args.variants:
+        result = run_experiment(_experiment_config(args, variant=variant))
+        rows.append(
+            (
+                variant,
+                result.average_latency,
+                result.endorsement_pct,
+                result.mvcc_pct,
+                result.failure_pct,
+                result.committed_throughput,
+            )
+        )
+    print(
+        format_table(
+            (
+                "variant",
+                "latency_s",
+                "endorsement_pct",
+                "mvcc_pct",
+                "failures_pct",
+                "committed_tps",
+            ),
+            rows,
+            title=f"Variant comparison ({args.chaincode}, {args.rate:.0f} tps, {args.cluster})",
+        )
+    )
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    experiment = EXPERIMENT_INDEX[args.artefact]
+    report = experiment(_SCALES[args.scale])
+    print(format_table(report.headers, report.rows, title=report.title))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "compare":
+            return _command_compare(args)
+        if args.command == "figure":
+            return _command_figure(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The failure study core: definitions, classification, analysis, recommendations.
+
+This package is the paper's primary contribution translated into a library:
+
+* :mod:`repro.core.failures` — the formal failure definitions of Section 3
+  (Equations 1-5) as executable predicates.
+* :mod:`repro.core.classifier` — classifies every failed transaction on the
+  ledger into endorsement policy failures, intra-/inter-block MVCC read
+  conflicts and phantom read conflicts.
+* :mod:`repro.core.metrics` / :mod:`repro.core.analyzer` — parse the blockchain
+  after an experiment (Section 4.5) and compute the metrics of the study.
+* :mod:`repro.core.recommendations` — the practitioner recommendations of
+  Section 6 as a rule engine over measured failure reports.
+* :mod:`repro.core.adaptive` — the adaptive block size controller proposed as
+  future work in Section 6.2.
+"""
+
+from repro.core.adaptive import AdaptiveBlockSizeController, BlockSizeTuner
+from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
+from repro.core.classifier import ClassifiedTransaction, TransactionClassifier
+from repro.core.failures import FailureType
+from repro.core.metrics import ExperimentMetrics, FailureReport, compute_metrics
+from repro.core.recommendations import Recommendation, RecommendationEngine
+
+__all__ = [
+    "AdaptiveBlockSizeController",
+    "BlockSizeTuner",
+    "ExperimentAnalysis",
+    "LedgerAnalyzer",
+    "ClassifiedTransaction",
+    "TransactionClassifier",
+    "FailureType",
+    "ExperimentMetrics",
+    "FailureReport",
+    "compute_metrics",
+    "Recommendation",
+    "RecommendationEngine",
+]

@@ -1,0 +1,144 @@
+"""Adaptive block sizing (paper Section 6.2, "Adaptive block size").
+
+The paper's first proposed research direction is a block size that adapts to
+the observed transaction arrival rate, because the best block size grows
+roughly linearly with the arrival rate (Figure 4) and differs per chaincode.
+Two tools are provided:
+
+* :class:`BlockSizeTuner` — offline: sweeps candidate block sizes with a
+  user-supplied evaluation function and returns the best/worst settings, which
+  is exactly how Figures 4 and 5 are produced.
+* :class:`AdaptiveBlockSizeController` — online: observes recent arrivals and
+  suggests a block size proportional to the arrival rate, bounded and smoothed,
+  optionally seeded with per-chaincode calibration from the tuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SweepResult:
+    """Outcome of an offline block-size sweep."""
+
+    failures_by_block_size: Dict[int, float]
+
+    @property
+    def best_block_size(self) -> int:
+        """Block size with the least failures (ties: the smaller block size)."""
+        return min(self.failures_by_block_size, key=lambda size: (self.failures_by_block_size[size], size))
+
+    @property
+    def worst_block_size(self) -> int:
+        """Block size with the most failures (ties: the larger block size)."""
+        return max(self.failures_by_block_size, key=lambda size: (self.failures_by_block_size[size], size))
+
+    @property
+    def min_failures(self) -> float:
+        """Failure percentage at the best block size."""
+        return self.failures_by_block_size[self.best_block_size]
+
+    @property
+    def max_failures(self) -> float:
+        """Failure percentage at the worst block size."""
+        return self.failures_by_block_size[self.worst_block_size]
+
+    @property
+    def improvement_pct(self) -> float:
+        """Relative reduction in failures between worst and best block size."""
+        if self.max_failures <= 0:
+            return 0.0
+        return 100.0 * (self.max_failures - self.min_failures) / self.max_failures
+
+
+class BlockSizeTuner:
+    """Offline block-size tuning by exhaustive sweep."""
+
+    def __init__(self, candidates: Sequence[int] = (10, 50, 100, 150, 200)) -> None:
+        if not candidates:
+            raise ConfigurationError("the tuner needs at least one candidate block size")
+        if any(size < 1 for size in candidates):
+            raise ConfigurationError("block size candidates must be >= 1")
+        self.candidates = list(dict.fromkeys(candidates))
+
+    def sweep(self, evaluate: Callable[[int], float]) -> SweepResult:
+        """Evaluate every candidate with ``evaluate(block_size) -> failure %``."""
+        failures = {size: float(evaluate(size)) for size in self.candidates}
+        return SweepResult(failures_by_block_size=failures)
+
+
+@dataclass
+class AdaptiveBlockSizeController:
+    """Online controller that adapts the block size to the arrival rate.
+
+    The controller keeps the expected block-fill time close to
+    ``target_fill_time`` seconds: ``block_size ~= arrival_rate * target_fill_time``,
+    clamped to ``[min_block_size, max_block_size]`` and smoothed exponentially
+    so that short bursts do not cause oscillation.  A per-rate calibration
+    table (e.g. obtained from :class:`BlockSizeTuner` sweeps) takes precedence
+    when provided, which models the per-chaincode dependency the paper points
+    out.
+    """
+
+    min_block_size: int = 10
+    max_block_size: int = 500
+    target_fill_time: float = 0.5
+    smoothing: float = 0.5
+    calibration: Dict[float, int] = field(default_factory=dict)
+    _observations: List[Tuple[float, int]] = field(default_factory=list, repr=False)
+    _current: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_block_size < 1 or self.max_block_size < self.min_block_size:
+            raise ConfigurationError(
+                f"invalid block size bounds [{self.min_block_size}, {self.max_block_size}]"
+            )
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+        if self.target_fill_time <= 0:
+            raise ConfigurationError("the target block fill time must be positive")
+
+    # --------------------------------------------------------------- observation
+    def observe(self, window_start: float, window_end: float, transactions: int) -> None:
+        """Record the number of arrivals seen in a monitoring window."""
+        if window_end <= window_start:
+            raise ConfigurationError("the observation window must have positive length")
+        if transactions < 0:
+            raise ConfigurationError("cannot observe a negative number of transactions")
+        self._observations.append((window_end - window_start, transactions))
+
+    @property
+    def observed_rate(self) -> float:
+        """Arrival rate over all recorded observation windows (tps)."""
+        total_time = sum(length for length, _count in self._observations)
+        total_txs = sum(count for _length, count in self._observations)
+        if total_time <= 0:
+            return 0.0
+        return total_txs / total_time
+
+    # ---------------------------------------------------------------- decisions
+    def suggest(self, arrival_rate: Optional[float] = None) -> int:
+        """Suggested block size for the given (or observed) arrival rate."""
+        rate = self.observed_rate if arrival_rate is None else arrival_rate
+        if rate <= 0:
+            return self.min_block_size
+        if self.calibration:
+            closest = min(self.calibration, key=lambda calibrated: abs(calibrated - rate))
+            raw = float(self.calibration[closest])
+        else:
+            raw = rate * self.target_fill_time
+        if self._current is None:
+            self._current = raw
+        else:
+            self._current = (1.0 - self.smoothing) * self._current + self.smoothing * raw
+        clamped = int(round(self._current))
+        return max(self.min_block_size, min(self.max_block_size, clamped))
+
+    def reset(self) -> None:
+        """Forget all observations and smoothing state."""
+        self._observations.clear()
+        self._current = None

@@ -1,0 +1,65 @@
+"""Post-experiment ledger analysis.
+
+The paper's methodology (Section 4.5) collects all performance metrics by
+parsing the blockchain after each experiment, so that measurement has no impact
+on the running system.  :class:`LedgerAnalyzer` performs that parse: it
+classifies every failed transaction, aggregates the failure report, computes
+latency and throughput, and bundles everything into an
+:class:`ExperimentAnalysis` that the benchmark harness, the recommendation
+engine and the reporting layer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.classifier import ClassifiedTransaction, TransactionClassifier
+from repro.core.failures import FailureType
+from repro.core.metrics import ExperimentMetrics, FailureReport, compute_metrics
+from repro.network.network import RunRecord
+
+
+@dataclass
+class ExperimentAnalysis:
+    """The complete analysis of one simulated experiment run."""
+
+    record: RunRecord
+    metrics: ExperimentMetrics
+    classified_failures: List[ClassifiedTransaction] = field(default_factory=list)
+
+    @property
+    def failure_report(self) -> FailureReport:
+        """The failure breakdown of this run."""
+        return self.metrics.failure_report
+
+    def failures_of_type(self, failure_type: FailureType) -> List[ClassifiedTransaction]:
+        """All classified failures of one type."""
+        return [item for item in self.classified_failures if item.failure_type is failure_type]
+
+    def hottest_conflicting_keys(self, limit: int = 10) -> List[tuple[str, int]]:
+        """Keys most often involved in conflicts, most frequent first.
+
+        Useful for the chaincode-design recommendations of Section 6.1 (e.g.
+        splitting a hot ``PatientID`` key into per-record keys).
+        """
+        counts: Dict[str, int] = {}
+        for item in self.classified_failures:
+            if item.conflicting_key is None:
+                continue
+            counts[item.conflicting_key] = counts.get(item.conflicting_key, 0) + 1
+        ranked = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:limit]
+
+
+class LedgerAnalyzer:
+    """Parses run records into :class:`ExperimentAnalysis` objects."""
+
+    def __init__(self) -> None:
+        self._classifier = TransactionClassifier()
+
+    def analyze(self, record: RunRecord) -> ExperimentAnalysis:
+        """Classify all failures of ``record`` and compute its metrics."""
+        classified = self._classifier.classify_ledger(record.ledger, record.early_aborted)
+        metrics = compute_metrics(record, classified)
+        return ExperimentAnalysis(record=record, metrics=metrics, classified_failures=classified)

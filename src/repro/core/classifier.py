@@ -1,0 +1,160 @@
+"""Classify failed transactions by replaying the ledger.
+
+The paper collects all metrics by parsing the blockchain after each experiment
+(Section 4.5).  The classifier does exactly that: it replays the blocks in
+order, maintains the committed versions of every key, and attributes each
+failed transaction to one of the failure classes of Section 3 — including the
+intra- vs inter-block distinction for MVCC read conflicts, which requires
+knowing in which block the conflicting write was committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.failures import FailureType
+from repro.ledger.block import Transaction, ValidationCode
+from repro.ledger.kvstore import Version
+from repro.ledger.ledger import Ledger
+
+
+@dataclass
+class ClassifiedTransaction:
+    """One failed transaction together with its derived failure class."""
+
+    tx: Transaction
+    failure_type: FailureType
+    conflicting_key: Optional[str] = None
+    conflicting_block: Optional[int] = None
+
+    @property
+    def is_mvcc(self) -> bool:
+        """True for intra- or inter-block MVCC read conflicts."""
+        return self.failure_type.is_mvcc
+
+
+class TransactionClassifier:
+    """Replays a ledger and classifies every failed transaction."""
+
+    def classify_ledger(
+        self, ledger: Ledger, early_aborted: Iterable[Transaction] = ()
+    ) -> List[ClassifiedTransaction]:
+        """Classify all failures on the ledger plus the early-aborted transactions."""
+        classified: List[ClassifiedTransaction] = []
+        committed_versions: Dict[str, Version] = {}
+        last_writer: Dict[str, Tuple[int, int]] = {}
+        for block in ledger:
+            for index, tx in enumerate(block.transactions):
+                if tx.validation_code is None:
+                    continue
+                if tx.validation_code is ValidationCode.VALID:
+                    self._apply(tx, block.number, index, committed_versions, last_writer)
+                    continue
+                classified.append(
+                    self._classify_failure(tx, block.number, committed_versions, last_writer)
+                )
+        for tx in early_aborted:
+            failure_type = (
+                FailureType.ENDORSEMENT_POLICY
+                if tx.validation_code is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+                else FailureType.EARLY_ABORT
+            )
+            classified.append(ClassifiedTransaction(tx=tx, failure_type=failure_type))
+        return classified
+
+    # ------------------------------------------------------------------ rules
+    def _classify_failure(
+        self,
+        tx: Transaction,
+        block_number: int,
+        committed_versions: Dict[str, Version],
+        last_writer: Dict[str, Tuple[int, int]],
+    ) -> ClassifiedTransaction:
+        code = tx.validation_code
+        if code is ValidationCode.ENDORSEMENT_POLICY_FAILURE:
+            return ClassifiedTransaction(tx=tx, failure_type=FailureType.ENDORSEMENT_POLICY)
+        if code is ValidationCode.ABORTED_BY_REORDERING:
+            return ClassifiedTransaction(tx=tx, failure_type=FailureType.ORDERING_ABORT)
+        if code is ValidationCode.PHANTOM_READ_CONFLICT:
+            key, writer = self._find_phantom_conflict(tx, committed_versions, last_writer)
+            return ClassifiedTransaction(
+                tx=tx,
+                failure_type=FailureType.PHANTOM_READ,
+                conflicting_key=key,
+                conflicting_block=writer[0] if writer else None,
+            )
+        if code is ValidationCode.MVCC_READ_CONFLICT:
+            key, writer = self._find_mvcc_conflict(tx, committed_versions, last_writer)
+            conflicting_block = writer[0] if writer else None
+            if conflicting_block is not None and conflicting_block == block_number:
+                failure_type = FailureType.MVCC_INTRA_BLOCK
+            else:
+                failure_type = FailureType.MVCC_INTER_BLOCK
+            return ClassifiedTransaction(
+                tx=tx,
+                failure_type=failure_type,
+                conflicting_key=key,
+                conflicting_block=conflicting_block,
+            )
+        # EARLY_ABORT transactions normally never appear inside blocks, but a
+        # custom variant could put them there; classify them as early aborts.
+        return ClassifiedTransaction(tx=tx, failure_type=FailureType.EARLY_ABORT)
+
+    def _find_mvcc_conflict(
+        self,
+        tx: Transaction,
+        committed_versions: Dict[str, Version],
+        last_writer: Dict[str, Tuple[int, int]],
+    ) -> Tuple[Optional[str], Optional[Tuple[int, int]]]:
+        if tx.rwset is None:
+            return None, None
+        for read in tx.rwset.reads:
+            if read.key not in last_writer:
+                # The key was never written (or deleted) on the ledger, so its
+                # version cannot have changed since the genesis population.
+                continue
+            current = committed_versions.get(read.key)
+            if current != read.version:
+                return read.key, last_writer.get(read.key)
+        return None, None
+
+    def _find_phantom_conflict(
+        self,
+        tx: Transaction,
+        committed_versions: Dict[str, Version],
+        last_writer: Dict[str, Tuple[int, int]],
+    ) -> Tuple[Optional[str], Optional[Tuple[int, int]]]:
+        if tx.rwset is None:
+            return None, None
+        for range_read in tx.rwset.range_reads:
+            if not range_read.phantom_detection:
+                continue
+            observed = {read.key: read.version for read in range_read.reads}
+            # Only keys that were written (or deleted) on the ledger can have
+            # changed relative to the endorsement-time observation.
+            for key, position in sorted(last_writer.items()):
+                if not range_read.start_key <= key < range_read.end_key:
+                    continue
+                if observed.get(key) != committed_versions.get(key):
+                    return key, position
+        return None, None
+
+    # ------------------------------------------------------------------ replay
+    def _apply(
+        self,
+        tx: Transaction,
+        block_number: int,
+        index: int,
+        committed_versions: Dict[str, Version],
+        last_writer: Dict[str, Tuple[int, int]],
+    ) -> None:
+        if tx.rwset is None:
+            return
+        version = Version(block_number=block_number, tx_number=index)
+        for write in tx.rwset.writes:
+            if write.is_delete:
+                committed_versions.pop(write.key, None)
+            else:
+                committed_versions[write.key] = version
+            last_writer[write.key] = (block_number, index)

@@ -1,0 +1,120 @@
+"""Formal definitions of the transaction failure types (paper Section 3).
+
+Each definition of the paper is provided both as a :class:`FailureType` member
+and as an executable predicate over read/write sets and world-state versions:
+
+* Equation 1 — endorsement policy failure: two endorsing peers observed the
+  same key at different versions.
+* Equation 2 — MVCC read conflict: a read version no longer matches the world
+  state at validation time.
+* Equation 3 — intra-block MVCC read conflict: the conflicting write belongs to
+  an earlier transaction of the *same* block.
+* Equation 4 — inter-block MVCC read conflict: the conflicting write belongs to
+  an *earlier* block.
+* Equation 5 — phantom read conflict: a re-executed range query observes a
+  different set of keys (or versions) than the endorsement did.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Optional
+
+from repro.ledger.kvstore import Version
+from repro.ledger.rwset import RangeRead, ReadWriteSet
+
+
+class FailureType(enum.Enum):
+    """The concurrency-related failure classes studied in the paper."""
+
+    ENDORSEMENT_POLICY = "endorsement_policy_failure"
+    MVCC_INTRA_BLOCK = "intra_block_mvcc_read_conflict"
+    MVCC_INTER_BLOCK = "inter_block_mvcc_read_conflict"
+    PHANTOM_READ = "phantom_read_conflict"
+    #: Transactions aborted by Fabric++ inside the ordering phase to break a
+    #: conflict-graph cycle (still recorded on the ledger).
+    ORDERING_ABORT = "aborted_in_ordering"
+    #: Transactions aborted by FabricSharp before ordering (never reach a block).
+    EARLY_ABORT = "early_abort"
+
+    @property
+    def is_mvcc(self) -> bool:
+        """True for the two MVCC read conflict classes."""
+        return self in (FailureType.MVCC_INTRA_BLOCK, FailureType.MVCC_INTER_BLOCK)
+
+
+def is_endorsement_policy_failure(read_sets: Iterable[ReadWriteSet]) -> bool:
+    """Equation 1: different endorsers observed different versions of a key."""
+    observed: dict[str, Optional[Version]] = {}
+    for read_set in read_sets:
+        for read in read_set.all_reads():
+            if read.key in observed and observed[read.key] != read.version:
+                return True
+            observed.setdefault(read.key, read.version)
+    return False
+
+
+def mvcc_conflicting_key(
+    rwset: ReadWriteSet, world_state_versions: Mapping[str, Version]
+) -> Optional[str]:
+    """Equation 2: the first read key whose version differs from the world state.
+
+    ``world_state_versions`` maps keys to their committed versions at
+    validation time; keys absent from the mapping do not exist in the world
+    state.  Returns ``None`` when no point read conflicts.
+    """
+    for read in rwset.reads:
+        current = world_state_versions.get(read.key)
+        if current != read.version:
+            return read.key
+    return None
+
+
+def is_transaction_dependency(reader: ReadWriteSet, writer: ReadWriteSet) -> bool:
+    """Definition 4: ``reader`` depends on ``writer`` (reads a key it writes)."""
+    return reader.depends_on(writer)
+
+
+def is_intra_block_conflict(
+    reader_position: tuple[int, int], writer_position: tuple[int, int]
+) -> bool:
+    """Equation 3: conflicting transactions sit in the same block, writer first.
+
+    Positions are ``(block_number, tx_index)`` pairs.
+    """
+    reader_block, reader_index = reader_position
+    writer_block, writer_index = writer_position
+    return reader_block == writer_block and writer_index < reader_index
+
+
+def is_inter_block_conflict(
+    reader_position: tuple[int, int], writer_position: tuple[int, int]
+) -> bool:
+    """Equation 4: the conflicting write was committed in an earlier block."""
+    reader_block, _ = reader_position
+    writer_block, _ = writer_position
+    return writer_block < reader_block
+
+
+def phantom_conflicting_key(
+    range_read: RangeRead, world_state_versions: Mapping[str, Version]
+) -> Optional[str]:
+    """Equation 5: the first key whose presence or version changed in the range.
+
+    ``world_state_versions`` must contain the keys currently in the queried
+    interval; a key observed at endorsement but now absent, a key now present
+    but not observed, or a version change all constitute a phantom read.
+    Range reads without phantom detection (rich queries) never conflict.
+    """
+    if not range_read.phantom_detection:
+        return None
+    observed = {read.key: read.version for read in range_read.reads}
+    current = {
+        key: version
+        for key, version in world_state_versions.items()
+        if range_read.start_key <= key < range_read.end_key
+    }
+    if observed == current:
+        return None
+    differences = set(observed.items()) ^ set(current.items())
+    return sorted(key for key, _version in differences)[0]

@@ -1,0 +1,213 @@
+"""Experiment metrics: failure percentages, latency and committed throughput.
+
+The metrics follow the definitions of paper Section 4.5: all failures are
+reported as percentages of the submitted transactions, the *average total
+transaction latency* covers all three phases of both failed and successful
+transactions, and the *committed transaction throughput* is the number of
+transactions committed to the blockchain divided by the total time taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.classifier import ClassifiedTransaction, TransactionClassifier
+from repro.core.failures import FailureType
+from repro.ledger.block import Transaction
+from repro.network.network import RunRecord
+
+
+@dataclass
+class FailureReport:
+    """Failure counts and percentages broken down by failure type."""
+
+    total_transactions: int
+    counts: Dict[FailureType, int] = field(default_factory=dict)
+
+    def count(self, failure_type: FailureType) -> int:
+        """Number of failures of the given type."""
+        return self.counts.get(failure_type, 0)
+
+    def percentage(self, failure_type: FailureType) -> float:
+        """Failures of the given type as a percentage of all transactions."""
+        if self.total_transactions == 0:
+            return 0.0
+        return 100.0 * self.count(failure_type) / self.total_transactions
+
+    @property
+    def recorded_failures(self) -> int:
+        """Failed transactions recorded on the blockchain.
+
+        FabricSharp's early aborts never reach a block, so — like the paper,
+        which collects all metrics by parsing the blockchain — they are not
+        part of the headline failure percentage; they show up as reduced
+        committed throughput instead (Section 5.4.2).
+        """
+        return sum(
+            count
+            for failure_type, count in self.counts.items()
+            if failure_type is not FailureType.EARLY_ABORT
+        )
+
+    @property
+    def total_failures(self) -> int:
+        """Total number of failed transactions including early aborts."""
+        return sum(self.counts.values())
+
+    @property
+    def total_failure_pct(self) -> float:
+        """Blockchain-recorded failures as a percentage of submitted transactions."""
+        if self.total_transactions == 0:
+            return 0.0
+        return 100.0 * self.recorded_failures / self.total_transactions
+
+    @property
+    def endorsement_pct(self) -> float:
+        """Endorsement policy failures in percent (Figures 9, 12, 13, ...)."""
+        return self.percentage(FailureType.ENDORSEMENT_POLICY)
+
+    @property
+    def intra_block_mvcc_pct(self) -> float:
+        """Intra-block MVCC read conflicts in percent (Figure 7)."""
+        return self.percentage(FailureType.MVCC_INTRA_BLOCK)
+
+    @property
+    def inter_block_mvcc_pct(self) -> float:
+        """Inter-block MVCC read conflicts in percent (Figure 7)."""
+        return self.percentage(FailureType.MVCC_INTER_BLOCK)
+
+    @property
+    def mvcc_pct(self) -> float:
+        """All MVCC read conflicts (intra + inter) in percent."""
+        return self.intra_block_mvcc_pct + self.inter_block_mvcc_pct
+
+    @property
+    def phantom_pct(self) -> float:
+        """Phantom read conflicts in percent (Figure 10)."""
+        return self.percentage(FailureType.PHANTOM_READ)
+
+    @property
+    def ordering_abort_pct(self) -> float:
+        """Transactions aborted by reordering and recorded on chain (Fabric++)."""
+        return self.percentage(FailureType.ORDERING_ABORT)
+
+    @property
+    def early_abort_pct(self) -> float:
+        """Transactions aborted before ordering and never recorded (FabricSharp)."""
+        return self.percentage(FailureType.EARLY_ABORT)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Percentages keyed by failure-type value (for reports and tests)."""
+        summary = {failure.value: self.percentage(failure) for failure in FailureType}
+        summary["total"] = self.total_failure_pct
+        return summary
+
+
+@dataclass
+class ExperimentMetrics:
+    """All metrics of one experiment run."""
+
+    variant: str
+    chaincode: str
+    workload: str
+    arrival_rate: float
+    block_size: int
+    duration: float
+    submitted_transactions: int
+    committed_transactions: int
+    failure_report: FailureReport
+    average_latency: float
+    #: Transactions appended to the blockchain (valid and failed) per second —
+    #: the paper's "committed transaction throughput" (Section 4.5).
+    committed_throughput: float
+    #: Only successfully validated transactions per second.
+    successful_throughput: float
+    blocks: int
+    average_block_fill: float
+    orderer_utilization: float
+    validation_utilization: float
+    endorsement_utilization: float
+    function_call_latency_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def failure_pct(self) -> float:
+        """Total failed transactions in percent of the submitted transactions."""
+        return self.failure_report.total_failure_pct
+
+
+def _average_latency(transactions: Iterable[Transaction]) -> float:
+    latencies = [tx.total_latency for tx in transactions if tx.total_latency is not None]
+    if not latencies:
+        return 0.0
+    return sum(latencies) / len(latencies)
+
+
+def _function_call_latencies(transactions: Iterable[Transaction]) -> Dict[str, float]:
+    """Mean latency per state-database call type, in milliseconds (Table 4)."""
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for tx in transactions:
+        for operation, seconds in tx.db_call_latency.items():
+            totals[operation] = totals.get(operation, 0.0) + seconds
+            counts[operation] = counts.get(operation, 0) + 1
+    return {
+        operation: 1000.0 * totals[operation] / counts[operation] for operation in sorted(totals)
+    }
+
+
+def build_failure_report(
+    classified: List[ClassifiedTransaction], total_transactions: int
+) -> FailureReport:
+    """Aggregate classified failures into a report."""
+    counts: Dict[FailureType, int] = {}
+    for item in classified:
+        counts[item.failure_type] = counts.get(item.failure_type, 0) + 1
+    return FailureReport(total_transactions=total_transactions, counts=counts)
+
+
+def compute_metrics(
+    record: RunRecord, classified: Optional[List[ClassifiedTransaction]] = None
+) -> ExperimentMetrics:
+    """Compute the Section 4.5 metrics for one run record.
+
+    ``classified`` may be passed in to avoid re-running the classifier when the
+    caller (e.g. :class:`~repro.core.analyzer.LedgerAnalyzer`) already did.
+    """
+    if classified is None:
+        classified = TransactionClassifier().classify_ledger(record.ledger, record.early_aborted)
+    # Read-only transactions that were answered locally (client-design
+    # ablation) are not considered submitted-for-ordering, mirroring the paper
+    # where they simply never reach the blockchain.
+    submitted_count = len(record.transactions) - len(record.read_only_skipped)
+    report = build_failure_report(classified, submitted_count)
+    committed = record.ledger.committed_transactions()
+    appended = record.ledger.transaction_count
+    last_commit = max((tx.committed_at or 0.0 for tx in record.transactions), default=0.0)
+    horizon = max(record.duration, last_commit)
+    throughput = appended / horizon if horizon > 0 else 0.0
+    successful_throughput = len(committed) / horizon if horizon > 0 else 0.0
+    blocks = record.ledger.height
+    average_fill = (
+        sum(block.size for block in record.ledger) / blocks if blocks else 0.0
+    )
+    return ExperimentMetrics(
+        variant=record.variant_name,
+        chaincode=record.chaincode_name,
+        workload=record.workload_name,
+        arrival_rate=record.arrival_rate,
+        block_size=record.config.block_size,
+        duration=record.duration,
+        submitted_transactions=submitted_count,
+        committed_transactions=len(committed),
+        failure_report=report,
+        average_latency=_average_latency(record.transactions),
+        committed_throughput=throughput,
+        successful_throughput=successful_throughput,
+        blocks=blocks,
+        average_block_fill=average_fill,
+        orderer_utilization=record.orderer_utilization,
+        validation_utilization=record.mean_validation_utilization,
+        endorsement_utilization=record.mean_endorsement_utilization,
+        function_call_latency_ms=_function_call_latencies(record.transactions),
+    )

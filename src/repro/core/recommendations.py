@@ -1,0 +1,166 @@
+"""Practitioner recommendations (paper Section 6) as a rule engine.
+
+Given the analysis of one or more experiment runs and the configuration they
+ran under, the engine emits the applicable recommendations of Section 6.1 —
+adapting the block size, simplifying the endorsement policy, preferring
+LevelDB, avoiding range queries, batching read-only transactions — each with
+the rationale observed in the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.analyzer import ExperimentAnalysis
+from repro.core.failures import FailureType
+from repro.network.config import DatabaseType
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One actionable recommendation with its rationale."""
+
+    identifier: str
+    title: str
+    rationale: str
+    paper_section: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.identifier}] {self.title}: {self.rationale}"
+
+
+class RecommendationEngine:
+    """Derives Section 6 recommendations from measured failure reports."""
+
+    def __init__(
+        self,
+        mvcc_threshold_pct: float = 5.0,
+        endorsement_threshold_pct: float = 1.0,
+        phantom_threshold_pct: float = 1.0,
+        read_only_share_threshold: float = 0.3,
+    ) -> None:
+        self.mvcc_threshold_pct = mvcc_threshold_pct
+        self.endorsement_threshold_pct = endorsement_threshold_pct
+        self.phantom_threshold_pct = phantom_threshold_pct
+        self.read_only_share_threshold = read_only_share_threshold
+
+    def recommend(self, analysis: ExperimentAnalysis) -> List[Recommendation]:
+        """All recommendations triggered by this analysis."""
+        recommendations: List[Recommendation] = []
+        report = analysis.failure_report
+        config = analysis.record.config
+        metrics = analysis.metrics
+
+        if report.mvcc_pct >= self.mvcc_threshold_pct:
+            recommendations.append(
+                Recommendation(
+                    identifier="block-size",
+                    title="Adapt the block size to the transaction arrival rate",
+                    rationale=(
+                        f"{report.mvcc_pct:.1f}% of transactions fail with MVCC read conflicts "
+                        f"at {metrics.arrival_rate:.0f} tps with block size {config.block_size}; "
+                        "the paper observed up to 60% fewer failures at the best block size."
+                    ),
+                    paper_section="6.1 Block size",
+                )
+            )
+            if report.intra_block_mvcc_pct > report.inter_block_mvcc_pct:
+                recommendations.append(
+                    Recommendation(
+                        identifier="reordering",
+                        title="Consider Fabric++ or FabricSharp (transaction reordering)",
+                        rationale=(
+                            "Most MVCC conflicts are intra-block "
+                            f"({report.intra_block_mvcc_pct:.1f}% vs "
+                            f"{report.inter_block_mvcc_pct:.1f}% inter-block); intra-block "
+                            "conflicts can be resolved by reordering."
+                        ),
+                        paper_section="6.1 Types of failures",
+                    )
+                )
+
+        if report.endorsement_pct >= self.endorsement_threshold_pct:
+            recommendations.append(
+                Recommendation(
+                    identifier="endorsement-policy",
+                    title="Reduce organizations, signatures and sub-policies",
+                    rationale=(
+                        f"{report.endorsement_pct:.2f}% endorsement policy failures with "
+                        f"{config.orgs} organizations and policy {config.endorsement_policy}; "
+                        "fewer endorsers and simpler policies reduce world-state "
+                        "inconsistency windows."
+                    ),
+                    paper_section="6.1 Number of organizations & endorsement policies",
+                )
+            )
+
+        if report.phantom_pct >= self.phantom_threshold_pct:
+            recommendations.append(
+                Recommendation(
+                    identifier="range-queries",
+                    title="Avoid range queries in the chaincode",
+                    rationale=(
+                        f"{report.phantom_pct:.2f}% phantom read conflicts; no Fabric parameter "
+                        "resolves them, so redesign the chaincode (e.g. maintain aggregate keys "
+                        "instead of scanning ranges)."
+                    ),
+                    paper_section="6.1 Chaincode design & database type",
+                )
+            )
+
+        if DatabaseType.parse(config.database) is DatabaseType.COUCHDB:
+            uses_rich_queries = any(
+                "GetQueryResult" in tx.db_call_latency for tx in analysis.record.transactions
+            )
+            if not uses_rich_queries:
+                recommendations.append(
+                    Recommendation(
+                        identifier="leveldb",
+                        title="Use LevelDB instead of CouchDB",
+                        rationale=(
+                            "The workload never used rich queries, but CouchDB adds an order of "
+                            "magnitude of latency to every state operation and increases both "
+                            "MVCC and endorsement policy failures."
+                        ),
+                        paper_section="6.1 Chaincode design & database type",
+                    )
+                )
+
+        read_only_share = self._read_only_share(analysis)
+        if read_only_share >= self.read_only_share_threshold and config.submit_read_only:
+            recommendations.append(
+                Recommendation(
+                    identifier="read-only",
+                    title="Do not submit read-only transactions for ordering",
+                    rationale=(
+                        f"{100 * read_only_share:.0f}% of the submitted transactions are "
+                        "read-only; their result is already known after the execution phase, "
+                        "so batching or skipping them avoids needless ordering and validation."
+                    ),
+                    paper_section="6.1 Client design",
+                )
+            )
+
+        if analysis.record.config.delayed_orgs:
+            recommendations.append(
+                Recommendation(
+                    identifier="network-delay",
+                    title="Account for geographically distant organizations",
+                    rationale=(
+                        "An organization with induced network delay participates in "
+                        "endorsement; either exclude it from the endorsement policy or expect "
+                        "elevated endorsement policy failures and MVCC conflicts."
+                    ),
+                    paper_section="5.1.7 Network delay",
+                )
+            )
+        return recommendations
+
+    @staticmethod
+    def _read_only_share(analysis: ExperimentAnalysis) -> float:
+        transactions = analysis.record.transactions
+        if not transactions:
+            return 0.0
+        read_only = sum(1 for tx in transactions if tx.read_only)
+        return read_only / len(transactions)

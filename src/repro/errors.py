@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Fabric failure-study reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so that callers
+can catch any library error with a single ``except`` clause while still being
+able to distinguish configuration problems from runtime simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of the supported range."""
+
+
+class ChaincodeError(ReproError):
+    """A chaincode function failed during simulated execution."""
+
+
+class KeyNotFoundError(ChaincodeError):
+    """A chaincode read a key that does not exist in the world state."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key not found in world state: {key!r}")
+        self.key = key
+
+
+class UnknownFunctionError(ChaincodeError):
+    """A transaction invoked a chaincode function that is not registered."""
+
+    def __init__(self, chaincode: str, function: str) -> None:
+        super().__init__(f"chaincode {chaincode!r} has no function {function!r}")
+        self.chaincode = chaincode
+        self.function = function
+
+
+class EndorsementPolicyError(ReproError):
+    """An endorsement policy expression is malformed or cannot be satisfied."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A Fabric variant was asked to run a feature it does not support.
+
+    For example FabricSharp does not support range queries (Section 5.4 of the
+    paper), so submitting a range-heavy workload to it raises this error.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent internal state."""
+
+
+class LedgerError(ReproError):
+    """The ledger was queried or appended to in an invalid way."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or cannot be generated."""
+
+
+class AnalysisError(ReproError):
+    """Ledger analysis or failure classification received inconsistent data."""

@@ -1,0 +1,19 @@
+"""Fabric 1.4: the vanilla Execute-Order-Validate pipeline.
+
+All of the Fabric 1.4 behaviour lives in the default implementations of
+:class:`~repro.fabric.variant.FabricVariantBehavior`; this module only gives it
+its canonical name and registers it.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.variant import FabricVariantBehavior, register_variant
+
+
+class Fabric14(FabricVariantBehavior):
+    """Vanilla Fabric 1.4 (the baseline of every experiment in the paper)."""
+
+    name = "Fabric 1.4"
+
+
+register_variant("fabric-1.4", Fabric14)

@@ -1,0 +1,123 @@
+"""FabricSharp (Ruan et al., SIGMOD 2020) — cross-block serializability.
+
+FabricSharp maintains the conflict graph *across* blocks: transactions whose
+reads are already stale with respect to the committed state, or which conflict
+with writes of blocks that are in flight (cut but not yet committed), are
+aborted before ordering.  Remaining intra-batch conflicts are serialized by
+reordering.  The result is that no MVCC read conflict ever reaches the
+validation phase; only endorsement policy failures remain — and those become
+slightly more frequent because FabricSharp endorses against block snapshots
+that lag the freshest state (paper Section 5.4.1).  Aborted transactions are
+never recorded on the ledger, which is why the committed transaction
+throughput drops (Section 5.4.2).  Range queries are not supported.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.errors import UnsupportedFeatureError
+from repro.fabric.conflictgraph import reorder_batch
+from repro.fabric.variant import FabricVariantBehavior, register_variant
+from repro.ledger.block import Block, Transaction, ValidationCode
+from repro.network.config import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.orderer import OrderingService
+
+
+class FabricSharp(FabricVariantBehavior):
+    """FabricSharp: early aborts plus cross-block conflict-graph serialization."""
+
+    name = "FabricSharp"
+    endorse_from_snapshot = True
+    supports_range_queries = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Keys written by blocks that were cut but whose writes are not yet
+        #: part of the committed canonical state, with a reference count.
+        self._in_flight_writes: Dict[str, int] = {}
+
+    # -------------------------------------------------------------- ordering
+    def on_transaction_arrival(self, tx: Transaction, orderer: "OrderingService") -> bool:
+        """Abort transactions that can no longer be serialized."""
+        if tx.rwset is None:
+            return True
+        if tx.rwset.range_reads:
+            raise UnsupportedFeatureError(
+                "FabricSharp does not support range queries (paper Section 5.4); "
+                f"transaction {tx.tx_id} issued one via {tx.function!r}"
+            )
+        if tx.endorsement_mismatch:
+            # The transaction is doomed to fail VSCC; FabricSharp still records
+            # endorsement policy failures on the ledger (Section 5.4.2), so it
+            # is ordered normally instead of being aborted early.
+            return True
+        for read in tx.rwset.reads:
+            current = orderer.validator.current_version(read.key)
+            if current != read.version:
+                tx.abort_reason = (
+                    f"stale read of {read.key!r}: endorsed version {read.version}, "
+                    f"committed version {current}"
+                )
+                return False
+            if read.key in self._in_flight_writes:
+                tx.abort_reason = (
+                    f"read of {read.key!r} conflicts with an in-flight (uncommitted) write"
+                )
+                return False
+        return True
+
+    def prepare_block(self, block: Block, orderer: "OrderingService") -> float:
+        """Serialize the batch; cycle members are aborted and never recorded."""
+        serialized, aborted, edge_count = reorder_batch(block.transactions)
+        for tx in aborted:
+            tx.validation_code = ValidationCode.EARLY_ABORT
+            tx.abort_reason = tx.abort_reason or "aborted by FabricSharp (conflict-graph cycle)"
+            tx.committed_at = orderer.sim.now
+            orderer.early_aborted.append(tx)
+        block.transactions = serialized
+        block.reordered = True
+        read_count = sum(
+            len(tx.rwset.reads) for tx in serialized if tx.rwset is not None
+        )
+        for tx in serialized:
+            if tx.rwset is None:
+                continue
+            for key in tx.rwset.write_keys():
+                self._in_flight_writes[key] = self._in_flight_writes.get(key, 0) + 1
+        timing = orderer.config.timing
+        return (
+            timing.reorder_per_tx * (len(serialized) + len(aborted))
+            + timing.reorder_per_edge * edge_count
+            + timing.early_abort_check_per_key * read_count
+        )
+
+    def after_block_validated(self, block: Block, orderer: "OrderingService") -> None:
+        """Release the in-flight write tracking once the block is committed."""
+        for tx in block.transactions:
+            if tx.rwset is None:
+                continue
+            for key in tx.rwset.write_keys():
+                remaining = self._in_flight_writes.get(key)
+                if remaining is None:
+                    continue
+                if remaining <= 1:
+                    del self._in_flight_writes[key]
+                else:
+                    self._in_flight_writes[key] = remaining - 1
+
+    # ------------------------------------------------------------- validation
+    def validation_service_time(self, block: Block, config: NetworkConfig) -> float:
+        """Blocks contain only serializable transactions; costs mirror Fabric 1.4."""
+        return super().validation_service_time(block, config)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def in_flight_write_count(self) -> int:
+        """Number of keys currently tracked as written-but-uncommitted."""
+        return len(self._in_flight_writes)
+
+
+register_variant("fabricsharp", FabricSharp)

@@ -1,0 +1,68 @@
+"""Streamchain (István et al.) — do blockchains need blocks?
+
+Streamchain streams transactions one-by-one through ordering and validation
+instead of batching them into blocks, validates signatures in parallel and
+pipelines the validation steps, and keeps the ledger and world state on a RAM
+disk.  This keeps the world state very fresh (few MVCC conflicts) and the
+latency very low at small arrival rates, but the per-transaction ordering,
+broadcast and commit overheads are no longer amortized over a block, so the
+system saturates at moderate arrival rates — earlier on the larger C2 cluster
+where every transaction must be broadcast to 32 peers (paper Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fabric.variant import FabricVariantBehavior, register_variant
+from repro.ledger.block import Block, ValidationCode
+from repro.network.config import NetworkConfig
+from repro.network.endorsement import vscc_validation_cost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.orderer import OrderingService
+
+
+class Streamchain(FabricVariantBehavior):
+    """Streamchain: block-less streaming with RAM-disk storage."""
+
+    name = "Streamchain"
+
+    def configure(self, config: NetworkConfig) -> NetworkConfig:
+        """Force a virtual block of a single transaction (no batching wait)."""
+        config = super().configure(config)
+        config.block_size = 1
+        return config
+
+    def ordering_service_time(self, block: Block, config: NetworkConfig, peer_count: int) -> float:
+        """Per-transaction streaming cost; grows linearly with the peer count."""
+        timing = config.timing
+        return block.size * (
+            timing.stream_orderer_per_tx + timing.stream_broadcast_per_peer * peer_count
+        )
+
+    def validation_service_time(self, block: Block, config: NetworkConfig) -> float:
+        """Pipelined per-transaction validation with (optional) RAM-disk storage."""
+        timing = config.timing
+        database = config.database_profile
+        storage_factor = timing.ramdisk_factor if config.use_ram_disk else 1.0
+        total = 0.0
+        for tx in block.transactions:
+            total += timing.stream_validation_per_tx
+            signature_count = max(1, len(tx.endorsements))
+            total += vscc_validation_cost(self.policy, signature_count, timing)
+            if tx.rwset is None:
+                continue
+            total += database.mvcc_check_per_key * len(tx.rwset.reads) * storage_factor
+            for range_read in tx.rwset.range_reads:
+                if range_read.phantom_detection:
+                    total += database.range_cost(len(range_read.reads)) * storage_factor
+            commit_cost = database.commit_per_block + database.commit_per_write * len(
+                tx.rwset.writes
+            )
+            if tx.validation_code is ValidationCode.VALID:
+                total += commit_cost * storage_factor
+        return total
+
+
+register_variant("streamchain", Streamchain)

@@ -1,0 +1,44 @@
+"""World state, read/write sets, blocks and the append-only ledger.
+
+This package models Fabric's storage substrate:
+
+* :mod:`repro.ledger.rwset` — read sets, write sets and range reads exactly as
+  defined in Section 3.1 of the paper (Definitions 1-3).
+* :mod:`repro.ledger.kvstore` — the versioned key-value store that holds the
+  world state, plus per-operation latency profiles.
+* :mod:`repro.ledger.leveldb` / :mod:`repro.ledger.couchdb` — the two state
+  database backends studied in the paper (embedded vs external REST database).
+* :mod:`repro.ledger.block` — transactions, validation codes and blocks.
+* :mod:`repro.ledger.ledger` — the append-only ledger that records committed
+  blocks including failed transactions.
+"""
+
+from repro.ledger.block import Block, BlockCutReason, Transaction, ValidationCode
+from repro.ledger.couchdb import CouchDBStore
+from repro.ledger.kvstore import (
+    DatabaseLatencyProfile,
+    StateEntry,
+    Version,
+    VersionedKVStore,
+)
+from repro.ledger.leveldb import LevelDBStore
+from repro.ledger.ledger import Ledger
+from repro.ledger.rwset import KeyRead, KeyWrite, RangeRead, ReadWriteSet
+
+__all__ = [
+    "Block",
+    "BlockCutReason",
+    "Transaction",
+    "ValidationCode",
+    "CouchDBStore",
+    "DatabaseLatencyProfile",
+    "StateEntry",
+    "Version",
+    "VersionedKVStore",
+    "LevelDBStore",
+    "Ledger",
+    "KeyRead",
+    "KeyWrite",
+    "RangeRead",
+    "ReadWriteSet",
+]

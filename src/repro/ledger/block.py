@@ -1,0 +1,173 @@
+"""Transactions, endorsement responses, validation codes and blocks.
+
+Transactions carry their whole history through the Execute-Order-Validate
+pipeline: the endorsement responses produced in the execution phase, the
+read/write set submitted to the ordering service, per-phase timestamps, and the
+validation code assigned in the validation phase.  Both valid and failed
+transactions are recorded in blocks, exactly as Fabric does, so that the
+post-experiment ledger analysis of the paper (Section 4.5: "metrics are
+collected by parsing the blockchain after each experiment") can be reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ledger.rwset import ReadWriteSet
+
+
+class ValidationCode(enum.Enum):
+    """Final status of a transaction, mirroring Fabric's validation codes.
+
+    ``VALID`` transactions update the world state; every other code is a
+    failure.  ``MVCC_READ_CONFLICT`` and ``PHANTOM_READ_CONFLICT`` correspond to
+    Fabric's codes of the same name; ``ENDORSEMENT_POLICY_FAILURE`` is the
+    read/write-set-mismatch VSCC failure studied in the paper;
+    ``ABORTED_BY_REORDERING`` marks transactions aborted inside the ordering
+    phase by Fabric++; ``EARLY_ABORT`` marks transactions aborted before
+    ordering by FabricSharp (these never reach a block).
+    """
+
+    VALID = "VALID"
+    ENDORSEMENT_POLICY_FAILURE = "ENDORSEMENT_POLICY_FAILURE"
+    MVCC_READ_CONFLICT = "MVCC_READ_CONFLICT"
+    PHANTOM_READ_CONFLICT = "PHANTOM_READ_CONFLICT"
+    ABORTED_BY_REORDERING = "ABORTED_BY_REORDERING"
+    EARLY_ABORT = "EARLY_ABORT"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for every code except ``VALID``."""
+        return self is not ValidationCode.VALID
+
+
+class BlockCutReason(enum.Enum):
+    """Why the ordering service cut a block (Section 2, ordering phase step 4)."""
+
+    BLOCK_SIZE = "block_size"
+    BLOCK_TIMEOUT = "block_timeout"
+    MAX_BYTES = "max_bytes"
+    STREAMING = "streaming"
+    FLUSH = "flush"
+
+
+@dataclass
+class EndorsementResponse:
+    """One endorsing peer's response: its signature metadata and read/write set."""
+
+    peer_name: str
+    org_name: str
+    rwset: ReadWriteSet
+    completed_at: float
+
+
+_tx_counter = itertools.count()
+
+
+def next_transaction_id(prefix: str = "tx") -> str:
+    """Globally unique, monotonically increasing transaction identifier."""
+    return f"{prefix}-{next(_tx_counter):08d}"
+
+
+@dataclass
+class Transaction:
+    """A client transaction and everything recorded about it along the pipeline."""
+
+    tx_id: str
+    client_name: str
+    chaincode_name: str
+    function: str
+    args: Tuple[Any, ...] = ()
+    read_only: bool = False
+
+    # Execution phase -----------------------------------------------------
+    submitted_at: float = 0.0
+    endorsements: List[EndorsementResponse] = field(default_factory=list)
+    rwset: Optional[ReadWriteSet] = None
+    endorsement_mismatch: bool = False
+    endorsement_completed_at: Optional[float] = None
+
+    # Ordering phase -------------------------------------------------------
+    arrived_at_orderer_at: Optional[float] = None
+    ordered_at: Optional[float] = None
+    block_number: Optional[int] = None
+    tx_index: Optional[int] = None
+
+    # Validation phase -----------------------------------------------------
+    validation_code: Optional[ValidationCode] = None
+    committed_at: Optional[float] = None
+    conflicting_key: Optional[str] = None
+    conflicting_block: Optional[int] = None
+    abort_reason: Optional[str] = None
+
+    # Bookkeeping for per-function latency reporting (Table 4)
+    db_call_latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_committed(self) -> bool:
+        """True when validation succeeded and the write set was applied."""
+        return self.validation_code is ValidationCode.VALID
+
+    @property
+    def is_failed(self) -> bool:
+        """True when the transaction received any failure code."""
+        return self.validation_code is not None and self.validation_code.is_failure
+
+    @property
+    def total_latency(self) -> Optional[float]:
+        """End-to-end latency across all three phases (paper Section 4.5).
+
+        ``None`` until the transaction has been committed (or marked failed) at
+        the reference peer.
+        """
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+    def has_range_reads(self) -> bool:
+        """True when the endorsement produced at least one range read."""
+        return bool(self.rwset is not None and self.rwset.range_reads)
+
+    def estimated_size_bytes(self) -> int:
+        """Rough wire size of the transaction, used for the max-bytes block cut."""
+        base = 512  # headers, signatures, certificates
+        if self.rwset is None:
+            return base
+        per_read = 48
+        per_write = 96
+        reads = len(self.rwset.all_reads())
+        writes = len(self.rwset.writes)
+        return base + per_read * reads + per_write * writes
+
+
+@dataclass
+class Block:
+    """An ordered batch of transactions delivered to every peer."""
+
+    number: int
+    transactions: List[Transaction] = field(default_factory=list)
+    cut_reason: BlockCutReason = BlockCutReason.BLOCK_SIZE
+    created_at: float = 0.0
+    consensus_completed_at: float = 0.0
+    reordered: bool = False
+
+    @property
+    def size(self) -> int:
+        """Number of transactions in the block (valid and failed)."""
+        return len(self.transactions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the block."""
+        return sum(tx.estimated_size_bytes() for tx in self.transactions) + 1024
+
+    def valid_transactions(self) -> List[Transaction]:
+        """Transactions that passed VSCC and MVCC validation."""
+        return [tx for tx in self.transactions if tx.is_committed]
+
+    def failed_transactions(self) -> List[Transaction]:
+        """Transactions recorded in the block with a failure code."""
+        return [tx for tx in self.transactions if tx.is_failed]

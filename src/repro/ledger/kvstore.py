@@ -1,0 +1,220 @@
+"""The versioned key-value store holding the world state (paper Definition 3).
+
+Every key carries a :class:`Version` ``(block_number, tx_number)`` that is
+bumped on each committed write, exactly as Fabric's state database does.  The
+store is a pure in-memory data structure; the *latency* of operations is not
+simulated here but described by a :class:`DatabaseLatencyProfile` that the
+chaincode stub and the validating peer charge to the discrete-event clock.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import LedgerError
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """A key version: the block number and intra-block index of the last write."""
+
+    block_number: int
+    tx_number: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.block_number}.{self.tx_number}"
+
+
+#: Version assigned to keys created when the world state is initially populated.
+GENESIS_VERSION = Version(block_number=0, tx_number=0)
+
+
+@dataclass
+class StateEntry:
+    """Value and version currently stored for one key."""
+
+    value: Any
+    version: Version
+
+
+@dataclass(frozen=True)
+class DatabaseLatencyProfile:
+    """Per-operation latency (seconds) of a state database backend.
+
+    The defaults of the two concrete profiles (:data:`LEVELDB_PROFILE` and
+    :data:`COUCHDB_PROFILE`) are calibrated from the function-call latencies the
+    paper reports in Table 4 (GetState, PutState, GetRange, DeleteState).
+    """
+
+    name: str
+    get_state: float
+    put_state: float
+    delete_state: float
+    range_base: float
+    range_per_key: float
+    rich_query_base: float
+    rich_query_per_key: float
+    #: Cost of re-checking one read key's version during MVCC validation.  The
+    #: check goes to the state database, so it is markedly more expensive for
+    #: the external CouchDB than for the embedded LevelDB.
+    mvcc_check_per_key: float
+    commit_per_write: float
+    commit_per_block: float
+    supports_rich_queries: bool
+
+    def range_cost(self, key_count: int) -> float:
+        """Cost of scanning ``key_count`` keys with a range read."""
+        return self.range_base + self.range_per_key * key_count
+
+    def rich_query_cost(self, key_count: int) -> float:
+        """Cost of running a rich (Mango-style) query over ``key_count`` results."""
+        return self.rich_query_base + self.rich_query_per_key * key_count
+
+
+#: LevelDB is embedded in the peer process: sub-millisecond operations (Table 4:
+#: GetState 0.6 ms, PutState 0.5 ms, GetRange 1.4 ms, DeleteState 0.6 ms).
+LEVELDB_PROFILE = DatabaseLatencyProfile(
+    name="LevelDB",
+    get_state=0.0006,
+    put_state=0.0005,
+    delete_state=0.0006,
+    range_base=0.0012,
+    range_per_key=0.00002,
+    rich_query_base=0.0012,
+    rich_query_per_key=0.00002,
+    mvcc_check_per_key=0.0002,
+    commit_per_write=0.0004,
+    commit_per_block=0.002,
+    supports_rich_queries=False,
+)
+
+#: CouchDB is an external database reached over REST: much slower, especially
+#: for range reads, which carry a large fixed REST/indexing cost (Table 4:
+#: GetState 8.3 ms, PutState 0.8 ms, GetRange 88 ms, DeleteState 1.2 ms).
+COUCHDB_PROFILE = DatabaseLatencyProfile(
+    name="CouchDB",
+    get_state=0.0083,
+    put_state=0.0008,
+    delete_state=0.0012,
+    range_base=0.08,
+    range_per_key=0.0001,
+    rich_query_base=0.04,
+    rich_query_per_key=0.0001,
+    mvcc_check_per_key=0.002,
+    commit_per_write=0.004,
+    commit_per_block=0.008,
+    supports_rich_queries=True,
+)
+
+
+class VersionedKVStore:
+    """An ordered, versioned key-value store.
+
+    Keys are kept in a sorted list alongside a hash map so that point lookups
+    are O(1) and range scans are O(log n + k).  The store never advances the
+    simulation clock; latency accounting lives in the components that use it.
+    """
+
+    def __init__(self, latency: DatabaseLatencyProfile = LEVELDB_PROFILE) -> None:
+        self.latency = latency
+        self._entries: Dict[str, StateEntry] = {}
+        self._sorted_keys: List[str] = []
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[str]:
+        """All keys in sorted order (a copy, safe to mutate)."""
+        return list(self._sorted_keys)
+
+    def get(self, key: str) -> Optional[StateEntry]:
+        """Return the entry for ``key`` or ``None`` when the key is absent."""
+        return self._entries.get(key)
+
+    def get_version(self, key: str) -> Optional[Version]:
+        """Version currently stored for ``key`` (``None`` when absent)."""
+        entry = self._entries.get(key)
+        return entry.version if entry is not None else None
+
+    def get_value(self, key: str) -> Optional[Any]:
+        """Value currently stored for ``key`` (``None`` when absent)."""
+        entry = self._entries.get(key)
+        return entry.value if entry is not None else None
+
+    # ----------------------------------------------------------------- writes
+    def put(self, key: str, value: Any, version: Version) -> None:
+        """Write ``value`` under ``key`` with the given committed ``version``."""
+        if not isinstance(key, str) or not key:
+            raise LedgerError(f"world state keys must be non-empty strings, got {key!r}")
+        if key not in self._entries:
+            bisect.insort(self._sorted_keys, key)
+        self._entries[key] = StateEntry(value=value, version=version)
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` from the world state (no-op when absent)."""
+        if key in self._entries:
+            del self._entries[key]
+            index = bisect.bisect_left(self._sorted_keys, key)
+            if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
+                self._sorted_keys.pop(index)
+
+    # ----------------------------------------------------------------- ranges
+    def range(self, start_key: str, end_key: str) -> List[Tuple[str, StateEntry]]:
+        """All ``(key, entry)`` pairs with ``start_key <= key < end_key``."""
+        if end_key < start_key:
+            raise LedgerError(
+                f"invalid range: end key {end_key!r} precedes start key {start_key!r}"
+            )
+        lo = bisect.bisect_left(self._sorted_keys, start_key)
+        hi = bisect.bisect_left(self._sorted_keys, end_key)
+        return [(key, self._entries[key]) for key in self._sorted_keys[lo:hi]]
+
+    def scan(self, predicate: Callable[[str, Any], bool]) -> List[Tuple[str, StateEntry]]:
+        """Full scan returning entries whose ``(key, value)`` satisfy ``predicate``."""
+        return [
+            (key, self._entries[key])
+            for key in self._sorted_keys
+            if predicate(key, self._entries[key].value)
+        ]
+
+    def items(self) -> Iterator[Tuple[str, StateEntry]]:
+        """Iterate ``(key, entry)`` pairs in key order."""
+        for key in self._sorted_keys:
+            yield key, self._entries[key]
+
+    # ------------------------------------------------------------------ setup
+    def populate(self, initial: Dict[str, Any]) -> None:
+        """Bulk-load the initial world state with the genesis version.
+
+        This is a fast path used when a peer's store is created: it avoids the
+        per-key sorted insertion of :meth:`put`, which matters for the
+        100,000-key genChain population used in the synthetic experiments.
+        """
+        for key in initial:
+            if not isinstance(key, str) or not key:
+                raise LedgerError(f"world state keys must be non-empty strings, got {key!r}")
+        merged = dict(self._entries)
+        for key, value in initial.items():
+            merged[key] = StateEntry(value=value, version=GENESIS_VERSION)
+        self._entries = merged
+        self._sorted_keys = sorted(merged)
+
+    def snapshot_versions(self) -> Dict[str, Version]:
+        """Mapping key -> version; used by FabricSharp's snapshot endorsement."""
+        return {key: entry.version for key, entry in self._entries.items()}
+
+    def copy(self) -> "VersionedKVStore":
+        """Deep-enough copy (values are shared; entries are new objects)."""
+        clone = VersionedKVStore(latency=self.latency)
+        clone._entries = {
+            key: StateEntry(value=entry.value, version=entry.version)
+            for key, entry in self._entries.items()
+        }
+        clone._sorted_keys = list(self._sorted_keys)
+        return clone

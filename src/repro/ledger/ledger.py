@@ -1,0 +1,84 @@
+"""The append-only distributed ledger.
+
+The ledger stores every block in order, including failed transactions (Fabric
+appends the whole validated block and only flags each transaction's validity).
+The post-experiment analysis of the paper parses this structure to count the
+different failure types, so the ledger exposes convenient iteration and lookup
+helpers for the analyzer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import LedgerError
+from repro.ledger.block import Block, Transaction
+
+
+class Ledger:
+    """An ordered, append-only chain of blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+        self._tx_index: Dict[str, Transaction] = {}
+
+    def append(self, block: Block) -> None:
+        """Append the next block; block numbers must be consecutive.
+
+        Block numbers start at 1: block number 0 is reserved for the genesis
+        world-state population (see ``GENESIS_VERSION``).
+        """
+        expected = self.height + 1
+        if block.number != expected:
+            raise LedgerError(
+                f"block number {block.number} out of order, expected {expected}"
+            )
+        self._blocks.append(block)
+        for tx in block.transactions:
+            if tx.tx_id in self._tx_index:
+                raise LedgerError(f"duplicate transaction id on the ledger: {tx.tx_id}")
+            self._tx_index[tx.tx_id] = tx
+
+    @property
+    def height(self) -> int:
+        """Number of blocks on the chain."""
+        return len(self._blocks)
+
+    @property
+    def blocks(self) -> List[Block]:
+        """All blocks in order (the live list; treat as read-only)."""
+        return self._blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block(self, number: int) -> Block:
+        """Return block ``number`` (1-based; block 0 is the genesis population)."""
+        if not 1 <= number <= len(self._blocks):
+            raise LedgerError(f"no block with number {number} (height={self.height})")
+        return self._blocks[number - 1]
+
+    def get_transaction(self, tx_id: str) -> Optional[Transaction]:
+        """Look a transaction up by id, or ``None`` if it never reached a block."""
+        return self._tx_index.get(tx_id)
+
+    def transactions(self) -> Iterator[Transaction]:
+        """Iterate every transaction on the chain in commit order."""
+        for block in self._blocks:
+            yield from block.transactions
+
+    @property
+    def transaction_count(self) -> int:
+        """Total number of transactions recorded on the chain."""
+        return len(self._tx_index)
+
+    def committed_transactions(self) -> List[Transaction]:
+        """All transactions that passed validation."""
+        return [tx for tx in self.transactions() if tx.is_committed]
+
+    def failed_transactions(self) -> List[Transaction]:
+        """All transactions recorded with a failure code."""
+        return [tx for tx in self.transactions() if tx.is_failed]

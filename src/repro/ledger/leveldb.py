@@ -1,0 +1,26 @@
+"""LevelDB-profile state database.
+
+LevelDB is the Fabric default: an embedded key-value store living inside the
+peer process, which is why the paper measures sub-millisecond GetState/PutState
+latencies for it (Table 4) and why it only supports simple get/set/range
+operations, not rich queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.ledger.kvstore import LEVELDB_PROFILE, VersionedKVStore
+
+
+class LevelDBStore(VersionedKVStore):
+    """World-state store with the embedded LevelDB latency profile."""
+
+    def __init__(self) -> None:
+        super().__init__(latency=LEVELDB_PROFILE)
+
+    def rich_query(self, selector):  # noqa: D401 - short and intentional
+        """LevelDB cannot evaluate rich queries; Fabric rejects them outright."""
+        raise UnsupportedFeatureError(
+            "rich queries require CouchDB as the state database (LevelDB only "
+            "supports get/put/delete/range operations)"
+        )

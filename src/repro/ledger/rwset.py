@@ -1,0 +1,127 @@
+"""Read sets, write sets and range reads (paper Section 3.1, Definitions 1-2).
+
+A transaction's read set is the list of ``(key, version)`` pairs it observed at
+endorsement time; its write set is the list of ``(key, value)`` pairs it intends
+to apply.  Range reads additionally remember the queried key interval so that
+the validator can re-execute the range and detect phantom reads (Equation 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Set
+
+from repro.ledger.kvstore import Version
+
+
+@dataclass(frozen=True)
+class KeyRead:
+    """One entry of a read set: a key and the version observed at endorsement.
+
+    ``version is None`` means the key did not exist in the world state when the
+    transaction was endorsed (Fabric records such reads with a nil version).
+    """
+
+    key: str
+    version: Optional[Version]
+
+
+@dataclass(frozen=True)
+class KeyWrite:
+    """One entry of a write set: a key and the value to write (or a deletion)."""
+
+    key: str
+    value: Any = None
+    is_delete: bool = False
+
+
+@dataclass
+class RangeRead:
+    """A range query executed at endorsement time.
+
+    ``reads`` holds the individual key/version observations inside the interval
+    ``[start_key, end_key)``.  ``phantom_detection`` is False for rich queries
+    (CouchDB ``GetQueryResult``), which Fabric does not re-execute during
+    validation and therefore never fails with a phantom read conflict
+    (Section 5.1.2 and the footnote of Table 2).
+    """
+
+    start_key: str
+    end_key: str
+    reads: List[KeyRead] = field(default_factory=list)
+    phantom_detection: bool = True
+    rich_query: bool = False
+
+    @property
+    def keys(self) -> List[str]:
+        """Keys observed by the range read, in scan order."""
+        return [read.key for read in self.reads]
+
+
+@dataclass
+class ReadWriteSet:
+    """The complete read/write set of one endorsement of one transaction."""
+
+    reads: List[KeyRead] = field(default_factory=list)
+    writes: List[KeyWrite] = field(default_factory=list)
+    range_reads: List[RangeRead] = field(default_factory=list)
+
+    def read_keys(self) -> Set[str]:
+        """All keys read, including keys observed through range reads."""
+        keys = {read.key for read in self.reads}
+        for range_read in self.range_reads:
+            keys.update(range_read.keys)
+        return keys
+
+    def write_keys(self) -> Set[str]:
+        """All keys written or deleted."""
+        return {write.key for write in self.writes}
+
+    def all_reads(self) -> List[KeyRead]:
+        """Point reads followed by reads recorded inside range reads."""
+        reads = list(self.reads)
+        for range_read in self.range_reads:
+            reads.extend(range_read.reads)
+        return reads
+
+    def depends_on(self, other: "ReadWriteSet") -> bool:
+        """Transaction dependency (paper Definition 4).
+
+        ``self`` depends on ``other`` when ``self`` reads at least one key that
+        ``other`` writes.
+        """
+        return bool(self.read_keys() & other.write_keys())
+
+    def version_of(self, key: str) -> Optional[Version]:
+        """Version recorded for ``key`` in this read set, or None if not read."""
+        for read in self.all_reads():
+            if read.key == key:
+                return read.version
+        return None
+
+    def merge_counts(self) -> dict:
+        """Operation counts, used for reporting (Table 2 style summaries)."""
+        return {
+            "reads": len(self.reads),
+            "writes": sum(1 for write in self.writes if not write.is_delete),
+            "deletes": sum(1 for write in self.writes if write.is_delete),
+            "range_reads": len(self.range_reads),
+        }
+
+
+def read_sets_consistent(read_sets: Iterable[ReadWriteSet]) -> bool:
+    """Check Equation 1 of the paper across a group of endorsements.
+
+    Returns ``False`` when two endorsing peers observed the *same key* at
+    *different versions* — the condition that defines an endorsement policy
+    failure caused by transient world-state inconsistency.
+    """
+    observed: dict[str, Optional[Version]] = {}
+    for read_set in read_sets:
+        for read in read_set.all_reads():
+            if read.key in observed:
+                if observed[read.key] != read.version:
+                    return False
+            else:
+                observed[read.key] = read.version
+    return True

@@ -1,0 +1,130 @@
+"""Client processes: drive the Execute-Order-Validate flow (steps 1, 3).
+
+Clients submit transactions open-loop at their share of the configured arrival
+rate.  For each transaction a client selects a minimal set of organizations
+that satisfies the endorsement policy, sends the proposal to one endorsing peer
+of each selected organization, collects the responses, optionally checks their
+consistency (Section 2, step 3 — the mismatch is always recorded so that the
+validator can later flag the endorsement policy failure), and forwards the
+endorsed transaction to the ordering service.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from typing import Dict, List
+
+from repro.chaincode.base import Chaincode
+from repro.ledger.block import EndorsementResponse, Transaction, ValidationCode, next_transaction_id
+from repro.ledger.rwset import read_sets_consistent
+from repro.network.config import NetworkConfig
+from repro.network.endorsement import PolicyNode
+from repro.network.latency import LatencyModel
+from repro.network.orderer import OrderingService
+from repro.network.organization import Organization
+from repro.network.peer import Peer
+from repro.sim.engine import Simulator
+from repro.workload.client import ArrivalProcess
+from repro.workload.generator import WorkloadGenerator
+
+
+class ClientNode:
+    """One Caliper-like client process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: NetworkConfig,
+        chaincode: Chaincode,
+        workload: WorkloadGenerator,
+        organizations: List[Organization],
+        policy: PolicyNode,
+        orderer: OrderingService,
+        latency: LatencyModel,
+        arrival: ArrivalProcess,
+        rng: random.Random,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config
+        self.chaincode = chaincode
+        self.workload = workload
+        self.organizations = organizations
+        self.policy = policy
+        self.orderer = orderer
+        self.latency = latency
+        self.arrival = arrival
+        self.rng = rng
+        self.submitted: List[Transaction] = []
+        self.read_only_skipped: List[Transaction] = []
+        self._expected_responses: Dict[str, int] = {}
+
+    # ---------------------------------------------------------------- driving
+    def start(self, duration: float) -> int:
+        """Schedule all arrivals of this client in ``[0, duration)``.
+
+        Returns the number of scheduled transactions.
+        """
+        arrivals = self.arrival.schedule(duration)
+        for arrival_time in arrivals:
+            self.sim.schedule_at(arrival_time, self._submit_next)
+        return len(arrivals)
+
+    def _submit_next(self) -> None:
+        """Execution phase, step 1: send a new transaction to the endorsers."""
+        request = self.workload.next_request()
+        tx = Transaction(
+            tx_id=next_transaction_id(),
+            client_name=self.name,
+            chaincode_name=self.chaincode.name,
+            function=request.function,
+            args=request.args,
+            read_only=request.read_only,
+            submitted_at=self.sim.now,
+        )
+        self.submitted.append(tx)
+        endorsing_orgs = sorted(self.policy.select_orgs(self.rng))
+        self._expected_responses[tx.tx_id] = len(endorsing_orgs)
+        on_response = functools.partial(self._on_endorsement, tx)
+        for org_index in endorsing_orgs:
+            peer = self.organizations[org_index].pick_endorser(self.rng)
+            delay = self.latency.one_way(None, peer.org_index)
+            self.sim.schedule(delay, peer.receive_proposal, tx, self.chaincode, on_response)
+
+    # ------------------------------------------------------------ endorsement
+    def _on_endorsement(self, tx: Transaction, peer: Peer, response: EndorsementResponse) -> None:
+        """A peer finished endorsing; account for the response network latency."""
+        delay = self.latency.one_way(peer.org_index, None)
+        self.sim.schedule(delay, self._collect_response, tx, response)
+
+    def _collect_response(self, tx: Transaction, response: EndorsementResponse) -> None:
+        """Execution phase, step 3: collect responses and submit for ordering."""
+        tx.endorsements.append(response)
+        expected = self._expected_responses.get(tx.tx_id, 0)
+        if len(tx.endorsements) < expected:
+            return
+        self._expected_responses.pop(tx.tx_id, None)
+        tx.endorsement_completed_at = self.sim.now
+        tx.rwset = tx.endorsements[0].rwset
+        tx.endorsement_mismatch = not read_sets_consistent(
+            endorsement.rwset for endorsement in tx.endorsements
+        )
+        if tx.read_only and not self.config.submit_read_only:
+            # Client-design recommendation (Section 6.1): the query result is
+            # already known after the execution phase, so the transaction is
+            # not submitted for ordering and validation.
+            tx.committed_at = self.sim.now
+            self.read_only_skipped.append(tx)
+            return
+        if self.config.client_side_check and tx.endorsement_mismatch:
+            # Optional early check of step 3: the client detects the mismatch
+            # and drops the doomed transaction instead of submitting it, saving
+            # ordering and validation work.  It still counts as a failure.
+            tx.validation_code = ValidationCode.ENDORSEMENT_POLICY_FAILURE
+            tx.committed_at = self.sim.now
+            self.orderer.early_aborted.append(tx)
+            return
+        delay = self.config.timing.client_processing + self.latency.one_way(None, None)
+        self.sim.schedule(delay, self.orderer.submit, tx)

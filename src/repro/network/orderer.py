@@ -1,0 +1,140 @@
+"""The ordering service: block cutting, consensus and block delivery.
+
+The ordering service batches endorsed transactions into blocks based on three
+conditions (paper Section 2, step 4): a fixed number of transactions has been
+received (*block size*), a fixed duration has elapsed since the first pending
+transaction (*block timeout*), or the total size of the pending transactions
+exceeds a limit (*block max bytes*).  Consensus (Kafka in the paper's setup) is
+modelled as a per-block plus per-transaction service time on a single FIFO
+station; blocks are then delivered to every peer with independent network
+latencies.
+
+Variant behaviours hook into three points: transaction arrival (FabricSharp's
+early aborts), block preparation (Fabric++ / FabricSharp reordering) and the
+ordering/validation cost models (Streamchain's per-transaction streaming).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.ledger.block import Block, BlockCutReason, Transaction, ValidationCode
+from repro.ledger.ledger import Ledger
+from repro.network.config import NetworkConfig
+from repro.network.latency import LatencyModel
+from repro.network.peer import Peer
+from repro.network.validator import BlockValidator
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import ServiceStation
+
+
+class OrderingService:
+    """The (logical) ordering service of the Fabric network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig,
+        variant,
+        peers: List[Peer],
+        validator: BlockValidator,
+        ledger: Ledger,
+        latency: LatencyModel,
+        rng: random.Random,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.timing = config.timing
+        self.variant = variant
+        self.peers = peers
+        self.validator = validator
+        self.ledger = ledger
+        self.latency = latency
+        self.rng = rng
+        self.consensus_station = ServiceStation(sim, name="ordering-service", servers=1)
+        self.reference_peer = peers[0]
+        self.transactions_received = 0
+        self.blocks_cut = 0
+        self.early_aborted: List[Transaction] = []
+        self._pending: List[Transaction] = []
+        self._pending_bytes = 0
+        self._timeout_event: Optional[Event] = None
+        self._next_block_number = 1
+
+    # ------------------------------------------------------------- submission
+    def submit(self, tx: Transaction) -> None:
+        """Receive an endorsed transaction from a client (step 3 -> step 4)."""
+        tx.arrived_at_orderer_at = self.sim.now
+        self.transactions_received += 1
+        if not self.variant.on_transaction_arrival(tx, self):
+            tx.validation_code = ValidationCode.EARLY_ABORT
+            tx.committed_at = self.sim.now
+            self.early_aborted.append(tx)
+            return
+        self._pending.append(tx)
+        self._pending_bytes += tx.estimated_size_bytes()
+        if len(self._pending) == 1:
+            self._timeout_event = self.sim.schedule(
+                self.config.block_timeout, self._cut_block, BlockCutReason.BLOCK_TIMEOUT
+            )
+        if len(self._pending) >= self.config.block_size:
+            self._cut_block(BlockCutReason.BLOCK_SIZE)
+        elif self._pending_bytes >= self.config.block_max_bytes:
+            self._cut_block(BlockCutReason.MAX_BYTES)
+
+    # ----------------------------------------------------------- block cutting
+    def _cut_block(self, reason: BlockCutReason) -> None:
+        if not self._pending:
+            self._timeout_event = None
+            return
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        transactions = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        if self.config.block_size == 1 and reason is BlockCutReason.BLOCK_SIZE:
+            reason = BlockCutReason.STREAMING
+        block = Block(
+            number=self._next_block_number,
+            transactions=transactions,
+            cut_reason=reason,
+            created_at=self.sim.now,
+        )
+        self._next_block_number += 1
+        self.blocks_cut += 1
+        reorder_time = self.variant.prepare_block(block, self)
+        service_time = (
+            self.variant.ordering_service_time(block, self.config, len(self.peers)) + reorder_time
+        ) * self.config.resource_factor
+        self.consensus_station.submit(service_time, self._consensus_done, block)
+
+    def flush(self) -> None:
+        """Cut whatever is pending (used at the end of an experiment)."""
+        self._cut_block(BlockCutReason.FLUSH)
+
+    # -------------------------------------------------------------- consensus
+    def _consensus_done(self, block: Block) -> None:
+        block.consensus_completed_at = self.sim.now
+        self.validator.validate_block(block)
+        self.ledger.append(block)
+        self.variant.after_block_validated(block, self)
+        for tx in block.transactions:
+            tx.ordered_at = self.sim.now
+        for peer in self.peers:
+            delay = self.latency.block_delivery(peer.org_index) + self.rng.uniform(
+                0.0, self.timing.delivery_jitter
+            )
+            self.sim.schedule(delay, peer.deliver_block, block, self._on_peer_commit)
+
+    def _on_peer_commit(self, peer: Peer, block: Block) -> None:
+        if peer is self.reference_peer:
+            for tx in block.transactions:
+                tx.committed_at = self.sim.now
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def pending_count(self) -> int:
+        """Transactions currently waiting for the next block cut."""
+        return len(self._pending)

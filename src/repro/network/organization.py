@@ -1,0 +1,41 @@
+"""Organizations: named groups of peers (paper Section 2).
+
+Peers are grouped into organizations which typically correspond to real
+enterprises or branches; the endorsement policy is expressed over
+organizations, and the number of organizations is one of the control variables
+of the study (Figure 12).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.peer import Peer
+
+
+@dataclass
+class Organization:
+    """One organization and the peers it operates."""
+
+    index: int
+    name: str
+    peers: List["Peer"] = field(default_factory=list)
+
+    @property
+    def endorsing_peers(self) -> List["Peer"]:
+        """Peers of this organization that hold the endorser role."""
+        return [peer for peer in self.peers if peer.is_endorser]
+
+    def pick_endorser(self, rng: random.Random) -> "Peer":
+        """Choose one endorsing peer of this organization at random."""
+        endorsers = self.endorsing_peers
+        if not endorsers:
+            raise ConfigurationError(
+                f"organization {self.name!r} has no endorsing peers; cannot endorse"
+            )
+        return rng.choice(endorsers)

@@ -1,0 +1,195 @@
+"""Peers: endorsement, validation and commit (paper Section 2, Figure 1).
+
+Endorsing peers simulate transactions against their *local* copy of the world
+state during the execution phase; every peer then validates and commits the
+blocks delivered by the ordering service.  Because each peer applies blocks at
+its own pace, the world-state replicas are transiently inconsistent — the root
+cause of endorsement policy failures (Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaincode.api import ChaincodeStub
+from repro.chaincode.base import Chaincode
+from repro.errors import SimulationError
+from repro.ledger.block import Block, EndorsementResponse, Transaction, ValidationCode
+from repro.ledger.kvstore import StateEntry, Version, VersionedKVStore
+from repro.network.config import NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.resources import ServiceStation
+
+#: Callback invoked with ``(peer, response)`` once an endorsement completes.
+EndorsementCallback = Callable[["Peer", EndorsementResponse], None]
+#: Callback invoked with ``(peer, block)`` once a peer has committed a block.
+CommitCallback = Callable[["Peer", Block], None]
+
+
+class LaggedStateView:
+    """World-state view whose snapshot lags behind freshly committed blocks.
+
+    FabricSharp parallelises execution and validation using block snapshots
+    taken at the start of the execution phase; the stale snapshots increase the
+    chance of endorsement policy failures (paper Section 5.4.1).  The view
+    keeps the pre-images of the keys changed by the most recent block and keeps
+    serving them until a per-block, per-peer random refresh delay has elapsed,
+    after which the freshly committed state becomes visible.
+    """
+
+    def __init__(self, base: VersionedKVStore, sim: Simulator) -> None:
+        self.base = base
+        self.sim = sim
+        self._overlay: Dict[str, Optional[StateEntry]] = {}
+        self._visible_after = 0.0
+
+    @property
+    def latency(self):
+        """Latency profile of the underlying store."""
+        return self.base.latency
+
+    def refresh(self, pre_images: Dict[str, Optional[StateEntry]], visible_after: float) -> None:
+        """Install the pre-images of the newest block until ``visible_after``."""
+        self._overlay = dict(pre_images)
+        self._visible_after = visible_after
+
+    @property
+    def _stale(self) -> bool:
+        return self.sim.now < self._visible_after and bool(self._overlay)
+
+    # -------------------------------------------------- VersionedKVStore API
+    def get(self, key: str) -> Optional[StateEntry]:
+        if self._stale and key in self._overlay:
+            return self._overlay[key]
+        return self.base.get(key)
+
+    def get_version(self, key: str):
+        entry = self.get(key)
+        return entry.version if entry is not None else None
+
+    def get_value(self, key: str):
+        entry = self.get(key)
+        return entry.value if entry is not None else None
+
+    def range(self, start_key: str, end_key: str) -> List[Tuple[str, StateEntry]]:
+        merged = {key: entry for key, entry in self.base.range(start_key, end_key)}
+        if self._stale:
+            for key, entry in self._overlay.items():
+                if start_key <= key < end_key:
+                    if entry is None:
+                        merged.pop(key, None)
+                    else:
+                        merged[key] = entry
+        return sorted(merged.items())
+
+    def rich_query(self, selector):
+        """Rich queries fall back to the base store (FabricSharp does not support them)."""
+        return self.base.rich_query(selector)
+
+
+class Peer:
+    """One Fabric peer: optionally an endorser, always a validator/committer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        org_index: int,
+        config: NetworkConfig,
+        variant,
+        rng: random.Random,
+        store: Optional[VersionedKVStore] = None,
+        is_endorser: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.org_index = org_index
+        self.org_name = f"org{org_index}"
+        self.config = config
+        self.timing = config.timing
+        self.variant = variant
+        self.rng = rng
+        self.store = store
+        self.is_endorser = is_endorser
+        self.committed_height = 0
+        self.endorsements_served = 0
+        self.blocks_committed = 0
+        self.endorsement_station = ServiceStation(
+            sim, name=f"{name}-endorsement", servers=config.timing.endorsement_concurrency
+        )
+        self.validation_station = ServiceStation(sim, name=f"{name}-validation", servers=1)
+        self._lagged_view = LaggedStateView(store, sim) if store is not None else None
+
+    # -------------------------------------------------------------- execution
+    def endorsement_state(self):
+        """The state the chaincode executes against during endorsement."""
+        if self.store is None:
+            raise SimulationError(f"peer {self.name} is not an endorser and holds no state")
+        if self.variant.endorse_from_snapshot and self._lagged_view is not None:
+            return self._lagged_view
+        return self.store
+
+    def receive_proposal(
+        self, tx: Transaction, chaincode: Chaincode, on_response: EndorsementCallback
+    ) -> None:
+        """Execution phase, steps 1-2: simulate the transaction and respond."""
+        if not self.is_endorser:
+            raise SimulationError(f"peer {self.name} received a proposal but is not an endorser")
+        stub = ChaincodeStub(self.endorsement_state())
+        chaincode.invoke(stub, tx.function, tx.args)
+        if not tx.db_call_latency:
+            tx.db_call_latency = dict(stub.db_call_latency)
+        service_time = (
+            stub.execution_cost + self.timing.endorsement_overhead
+        ) * self.config.resource_factor
+        response = EndorsementResponse(
+            peer_name=self.name, org_name=self.org_name, rwset=stub.rwset, completed_at=0.0
+        )
+        self.endorsements_served += 1
+
+        def finish() -> None:
+            response.completed_at = self.sim.now
+            on_response(self, response)
+
+        self.endorsement_station.submit(service_time, finish)
+
+    # ------------------------------------------------------------- validation
+    def deliver_block(self, block: Block, on_committed: CommitCallback) -> None:
+        """Validation phase, steps 6-8: validate, commit and update the state."""
+        base_time = self.variant.validation_service_time(block, self.config)
+        jitter = self.timing.validation_jitter
+        jitter_factor = 1.0 + self.rng.uniform(-jitter, jitter)
+        service_time = max(0.0, base_time * self.config.resource_factor * jitter_factor)
+        self.validation_station.submit(service_time, self._commit_block, block, on_committed)
+
+    def _commit_block(self, block: Block, on_committed: CommitCallback) -> None:
+        if self.store is not None:
+            pre_images = self._apply_block(block)
+            if self._lagged_view is not None:
+                snapshot_delay = self.rng.uniform(0.0, self.timing.sharp_snapshot_delay)
+                self._lagged_view.refresh(pre_images, visible_after=self.sim.now + snapshot_delay)
+        self.committed_height = block.number
+        self.blocks_committed += 1
+        on_committed(self, block)
+
+    def _apply_block(self, block: Block) -> Dict[str, Optional[StateEntry]]:
+        """Apply the write sets of the valid transactions; return the pre-images."""
+        assert self.store is not None
+        pre_images: Dict[str, Optional[StateEntry]] = {}
+        for index, tx in enumerate(block.transactions):
+            if tx.validation_code is not ValidationCode.VALID or tx.rwset is None:
+                continue
+            version = Version(block_number=block.number, tx_number=index)
+            for write in tx.rwset.writes:
+                if write.key not in pre_images:
+                    pre_images[write.key] = self.store.get(write.key)
+                if write.is_delete:
+                    self.store.delete(write.key)
+                else:
+                    self.store.put(write.key, write.value, version)
+        return pre_images
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "endorser" if self.is_endorser else "committer"
+        return f"Peer(name={self.name!r}, org={self.org_index}, role={role})"

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+This package contains the small, self-contained discrete-event simulation (DES)
+engine on which the Fabric network model is built: an event heap with a virtual
+clock (:mod:`repro.sim.engine`), single-server FIFO service stations used to
+model peers and the ordering service (:mod:`repro.sim.resources`), seeded
+random-number streams (:mod:`repro.sim.rng`) and online statistics accumulators
+(:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import ServiceStation
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import OnlineStats, TimeWeightedStats
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ServiceStation",
+    "RandomStreams",
+    "OnlineStats",
+    "TimeWeightedStats",
+]

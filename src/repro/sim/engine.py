@@ -1,0 +1,124 @@
+"""Event-heap discrete-event simulation engine.
+
+The engine is deliberately minimal: events are ``(time, sequence, callback)``
+triples kept in a binary heap.  Components schedule callbacks at absolute or
+relative virtual times; the :class:`Simulator` pops events in time order and
+invokes them.  There is no wall-clock coupling — simulated seconds are just
+floating point numbers — which is what makes sweeping hundreds of Fabric
+configurations cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in the simulation.
+
+    Events order by ``(time, sequence)`` so that events scheduled earlier in
+    real (scheduling) order break ties deterministically.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a virtual clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, callback, arg1, arg2)
+        sim.run(until=60.0)
+
+    The simulator guarantees that callbacks run in non-decreasing time order and
+    that two events scheduled for the same time run in scheduling order.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Negative delays are rejected because they would violate causality.
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at the absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time:.6f} before the current time "
+                f"t={self._now:.6f}"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback, args=args)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the heap is empty or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until`` at
+        the end of the run even if the last event happened earlier, so that
+        time-weighted statistics cover the whole horizon.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                self._processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_empty(self) -> None:
+        """Run until no events remain, regardless of how long that takes."""
+        self.run(until=None)

@@ -1,0 +1,134 @@
+"""Online statistics accumulators used by the simulator and the metrics layer."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+class OnlineStats:
+    """Accumulates count / mean / variance / min / max without storing samples.
+
+    Uses Welford's algorithm so the variance is numerically stable even for
+    millions of latency samples.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far (0 for < 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        merged = OnlineStats()
+        if self.count == 0:
+            merged.count = other.count
+            merged.mean = other.mean
+            merged._m2 = other._m2
+            merged.minimum = other.minimum
+            merged.maximum = other.maximum
+            return merged
+        if other.count == 0:
+            merged.count = self.count
+            merged.mean = self.mean
+            merged._m2 = self._m2
+            merged.minimum = self.minimum
+            merged.maximum = self.maximum
+            return merged
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        merged.count = total
+        merged.mean = self.mean + delta * other.count / total
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OnlineStats(count={self.count}, mean={self.mean:.6f}, stdev={self.stdev:.6f})"
+
+
+class TimeWeightedStats:
+    """Time-weighted average of a piecewise-constant signal (e.g. queue length)."""
+
+    def __init__(self, initial_time: float = 0.0, initial_value: float = 0.0) -> None:
+        self._last_time = initial_time
+        self._last_value = initial_value
+        self._weighted_sum = 0.0
+        self._duration = 0.0
+        self.maximum = initial_value
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError("time must be non-decreasing for time-weighted stats")
+        span = time - self._last_time
+        self._weighted_sum += self._last_value * span
+        self._duration += span
+        self._last_time = time
+        self._last_value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def mean(self, until: float | None = None) -> float:
+        """Time-weighted mean, optionally extending the last value to ``until``."""
+        weighted = self._weighted_sum
+        duration = self._duration
+        if until is not None and until > self._last_time:
+            weighted += self._last_value * (until - self._last_time)
+            duration += until - self._last_time
+        if duration <= 0:
+            return self._last_value
+        return weighted / duration
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Linear-interpolation percentile of a list of samples.
+
+    ``fraction`` is in [0, 1]; an empty list yields ``nan`` so callers notice
+    missing data instead of silently reporting 0.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight

@@ -1,0 +1,43 @@
+"""Workload generation: key distributions, transaction mixes and arrival processes.
+
+The workload layer mirrors Section 4.4 of the paper: a workload is defined by a
+transaction mix (which chaincode functions are invoked with which probability),
+a key distribution (uniform or Zipfian with a configurable skew) and the
+arrival process of the clients.
+"""
+
+from repro.workload.client import ArrivalProcess
+from repro.workload.distributions import UniformDistribution, ZipfianDistribution, make_distribution
+from repro.workload.generator import TransactionRequest, WorkloadGenerator
+from repro.workload.spec import TransactionMix, WorkloadSpec
+from repro.workload.workloads import (
+    SYNTHETIC_WORKLOADS,
+    delete_heavy,
+    insert_heavy,
+    range_heavy,
+    read_heavy,
+    read_update_uniform,
+    synthetic_workload,
+    uniform_workload,
+    update_heavy,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "UniformDistribution",
+    "ZipfianDistribution",
+    "make_distribution",
+    "TransactionRequest",
+    "WorkloadGenerator",
+    "TransactionMix",
+    "WorkloadSpec",
+    "SYNTHETIC_WORKLOADS",
+    "read_heavy",
+    "insert_heavy",
+    "update_heavy",
+    "delete_heavy",
+    "range_heavy",
+    "read_update_uniform",
+    "synthetic_workload",
+    "uniform_workload",
+]

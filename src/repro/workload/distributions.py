@@ -1,0 +1,84 @@
+"""Key-access distributions (paper Section 4.4 / 4.5, "Zipfian skew").
+
+The keys accessed by the workloads follow a Zipfian distribution with a
+configurable skew: skew 0 is a uniform access pattern, positive skews
+concentrate accesses on a small set of hot keys, which is the main driver of
+MVCC read conflicts in Figure 15.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Protocol
+
+from repro.errors import WorkloadError
+
+
+class KeyDistribution(Protocol):
+    """Anything that can pick an entity index out of a population."""
+
+    def sample(self, rng: random.Random, population: int) -> int:  # pragma: no cover
+        """Return an index in ``[0, population)``."""
+        ...
+
+
+class UniformDistribution:
+    """Uniform key access (Zipfian skew 0)."""
+
+    skew = 0.0
+
+    def sample(self, rng: random.Random, population: int) -> int:
+        """Pick every key with equal probability."""
+        if population <= 0:
+            raise WorkloadError(f"population must be positive, got {population}")
+        return rng.randrange(population)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UniformDistribution()"
+
+
+class ZipfianDistribution:
+    """Zipfian key access with exponent ``skew``.
+
+    Rank ``r`` (0-based) is accessed with probability proportional to
+    ``1 / (r + 1) ** skew``.  The cumulative weights are cached per population
+    size so repeated sampling over the same key space is O(log n).
+    """
+
+    def __init__(self, skew: float) -> None:
+        if skew < 0:
+            raise WorkloadError(f"Zipfian skew must be >= 0, got {skew}")
+        self.skew = float(skew)
+        self._cdf_cache: Dict[int, List[float]] = {}
+
+    def _cdf(self, population: int) -> List[float]:
+        if population not in self._cdf_cache:
+            weights = [1.0 / float(rank + 1) ** self.skew for rank in range(population)]
+            cdf: List[float] = []
+            total = 0.0
+            for weight in weights:
+                total += weight
+                cdf.append(total)
+            self._cdf_cache[population] = cdf
+        return self._cdf_cache[population]
+
+    def sample(self, rng: random.Random, population: int) -> int:
+        """Pick a key rank according to the Zipfian weights."""
+        if population <= 0:
+            raise WorkloadError(f"population must be positive, got {population}")
+        if self.skew == 0.0:
+            return rng.randrange(population)
+        cdf = self._cdf(population)
+        point = rng.random() * cdf[-1]
+        return min(bisect.bisect_left(cdf, point), population - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZipfianDistribution(skew={self.skew})"
+
+
+def make_distribution(skew: float) -> KeyDistribution:
+    """Build the distribution for a given Zipfian skew (0 means uniform)."""
+    if skew == 0:
+        return UniformDistribution()
+    return ZipfianDistribution(skew)

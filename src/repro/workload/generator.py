@@ -1,0 +1,77 @@
+"""Workload generator: turns a workload spec into a stream of invocations.
+
+The generator draws chaincode functions according to the transaction mix and
+asks the chaincode to sample realistic arguments, applying the configured key
+distribution (Zipfian skew) to entity selection.  It corresponds to the
+workload generator of paper Section 4.4, whose inputs are "the number of
+transactions, the transaction distribution ... and the key distribution".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.chaincode.base import Chaincode
+from repro.errors import WorkloadError
+from repro.workload.distributions import KeyDistribution, UniformDistribution
+from repro.workload.spec import TransactionMix
+
+
+@dataclass(frozen=True)
+class TransactionRequest:
+    """One client invocation: the function, its arguments and a read-only flag."""
+
+    function: str
+    args: Tuple[Any, ...]
+    read_only: bool
+
+
+class WorkloadGenerator:
+    """Draws :class:`TransactionRequest` objects for a chaincode and mix."""
+
+    def __init__(
+        self,
+        chaincode: Chaincode,
+        mix: TransactionMix,
+        rng: random.Random,
+        key_distribution: Optional[KeyDistribution] = None,
+    ) -> None:
+        self.chaincode = chaincode
+        self.mix = mix
+        self.rng = rng
+        self.key_distribution = key_distribution or UniformDistribution()
+        self._functions: List[str] = []
+        self._weights: List[float] = []
+        known = set(chaincode.functions())
+        for function, weight in mix.weights:
+            if function not in known:
+                raise WorkloadError(
+                    f"workload references function {function!r} which chaincode "
+                    f"{chaincode.name!r} does not define"
+                )
+            if weight > 0:
+                self._functions.append(function)
+                self._weights.append(weight)
+        if not self._functions:
+            raise WorkloadError("the transaction mix assigns zero weight to every function")
+
+    def _index_chooser(self, population: int) -> int:
+        return self.key_distribution.sample(self.rng, population)
+
+    def next_request(self) -> TransactionRequest:
+        """Draw the next invocation."""
+        function = self.rng.choices(self._functions, weights=self._weights, k=1)[0]
+        args = self.chaincode.sample_args(function, self.rng, self._index_chooser)
+        return TransactionRequest(
+            function=function,
+            args=args,
+            read_only=self.chaincode.is_read_only(function),
+        )
+
+    def generate(self, count: int) -> List[TransactionRequest]:
+        """Draw ``count`` invocations (the paper's "number of transactions" input)."""
+        if count < 0:
+            raise WorkloadError(f"cannot generate a negative number of requests: {count}")
+        return [self.next_request() for _ in range(count)]

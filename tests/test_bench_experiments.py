@@ -1,0 +1,146 @@
+"""Tests for the per-figure experiment definitions and paper reference data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.experiments import (
+    EXPERIMENT_INDEX,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    STANDARD_SCALE,
+    ExperimentReport,
+    Scale,
+    base_config,
+    figure06_latency_throughput,
+    figure11_database_effect,
+    figure13_endorsement_policies,
+    figure15_zipf_skew,
+    scaled_synthetic,
+    scaled_workload,
+    table02_chaincode_profiles,
+)
+
+#: A deliberately tiny scale so these structural tests stay fast.
+TEST_SCALE = Scale(
+    name="test",
+    duration=2.5,
+    repetitions=1,
+    rates=(30, 80),
+    block_sizes=(10, 40),
+    genchain_keys=3000,
+    dv_voters=40,
+    scm_units=(30, 30, 30, 30, 60),
+    ehr_patients=40,
+    drm_artworks=60,
+)
+
+
+def test_scales_are_ordered_by_fidelity():
+    assert QUICK_SCALE.duration < STANDARD_SCALE.duration < PAPER_SCALE.duration
+    assert PAPER_SCALE.duration == 180.0
+    assert PAPER_SCALE.repetitions == 3
+    assert PAPER_SCALE.genchain_keys == 100_000
+    assert PAPER_SCALE.dv_voters == 1000
+
+
+def test_experiment_index_covers_every_table_and_figure():
+    expected_figures = {f"fig{number}" for number in range(4, 27)}
+    assert expected_figures <= set(EXPERIMENT_INDEX)
+    assert {"table2", "table4"} <= set(EXPERIMENT_INDEX)
+    assert {"ablation-adaptive", "ablation-readonly", "ablation-client-check"} <= set(
+        EXPERIMENT_INDEX
+    )
+
+
+def test_scaled_workload_applies_population_sizes():
+    assert scaled_workload("EHR", TEST_SCALE).chaincode_kwargs["patients"] == 40
+    assert scaled_workload("DV", TEST_SCALE).chaincode_kwargs["voters"] == 40
+    assert scaled_workload("SCM", TEST_SCALE).chaincode_kwargs["units_per_lsp"][-1] == 60
+    assert scaled_workload("genChain", TEST_SCALE).chaincode_kwargs["num_keys"] == 3000
+    assert scaled_synthetic("UH", TEST_SCALE).chaincode_kwargs["num_keys"] == 3000
+
+
+def test_base_config_uses_table3_defaults():
+    config = base_config(TEST_SCALE)
+    assert config.network.cluster == "C2"
+    assert config.network.block_size == 100
+    assert config.arrival_rate == 100.0
+    assert config.duration == TEST_SCALE.duration
+    overridden = base_config(TEST_SCALE, block_size=25, arrival_rate=10)
+    assert overridden.network.block_size == 25
+    assert overridden.arrival_rate == 10
+
+
+def test_experiment_report_helpers():
+    report = ExperimentReport(
+        experiment_id="demo",
+        title="demo",
+        headers=("variant", "rate", "value"),
+        rows=[("a", 10, 1.0), ("a", 20, 2.0), ("b", 10, 3.0)],
+    )
+    assert report.column("rate") == [10, 20, 10]
+    assert report.rows_where(variant="a") == [("a", 10, 1.0), ("a", 20, 2.0)]
+    assert report.value("value", variant="b", rate=10) == 3.0
+    with pytest.raises(ValueError):
+        report.value("value", variant="a")
+
+
+def test_table02_report_matches_declared_profiles():
+    report = table02_chaincode_profiles(TEST_SCALE)
+    assert set(report.column("chaincode")) == {"EHR", "DV", "SCM", "DRM", "genChain"}
+    # The EHR addEhr row must report 2 reads and 2 writes as in Table 2.
+    row = report.rows_where(chaincode="EHR", function="addEhr")[0]
+    assert row[report.headers.index("reads")] == 2
+    assert row[report.headers.index("writes")] == 2
+
+
+def test_figure06_report_structure():
+    report = figure06_latency_throughput(TEST_SCALE)
+    assert report.column("block_size") == list(TEST_SCALE.block_sizes)
+    assert all(value > 0 for value in report.column("latency_s"))
+
+
+def test_figure11_covers_both_databases():
+    report = figure11_database_effect(TEST_SCALE)
+    assert sorted(report.column("database")) == ["couchdb", "leveldb"]
+
+
+def test_figure13_covers_all_policies():
+    report = figure13_endorsement_policies(TEST_SCALE)
+    assert report.column("policy") == ["P0", "P1", "P2", "P3"]
+
+
+def test_figure15_failures_increase_with_skew():
+    report = figure15_zipf_skew(TEST_SCALE, skews=(0.0, 2.0))
+    low = report.value("failures_pct", zipf_skew=0.0)
+    high = report.value("failures_pct", zipf_skew=2.0)
+    assert high > low
+
+
+# ------------------------------------------------------------------- paper data
+def test_paper_reference_tables_are_complete():
+    assert set(paper_data.TABLE4_LATENCY_S) == {
+        "ReadHeavy",
+        "InsertHeavy",
+        "UpdateHeavy",
+        "RangeHeavy",
+        "DeleteHeavy",
+    }
+    for workload, values in paper_data.TABLE4_FAILURES_PCT.items():
+        assert set(values) == {"couchdb", "leveldb"}
+        assert all(value >= 0 for value in values.values())
+    assert paper_data.TABLE4_FUNCTION_CALL_LATENCY_MS["GetRange"]["couchdb"] == 88.0
+
+
+def test_paper_qualitative_expectations_cover_all_figures():
+    covered = {expectation.experiment_id for expectation in paper_data.QUALITATIVE_EXPECTATIONS}
+    assert {f"fig{number}" for number in range(4, 27)} <= covered
+
+
+def test_paper_fig25_reference_shows_fabricsharp_winning_update_heavy():
+    reference = paper_data.FIG25_WORKLOAD_FAILURES_PCT["UH"]
+    assert reference["fabricsharp"] < reference["fabric-1.4"]
+    skew_reference = paper_data.FIG25_SKEW_FAILURES_PCT[2.0]
+    assert skew_reference["fabricsharp"] < skew_reference["fabric-1.4"]

@@ -1,0 +1,169 @@
+"""Unit tests for genChain and the chaincode generator (paper Section 4.4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chaincode.api import ChaincodeStub
+from repro.chaincode.genchain import RANGE_WIDTHS, GenChainChaincode
+from repro.chaincode.generator import ChaincodeGenerator, FunctionSpec, genchain_generator
+from repro.errors import ConfigurationError
+from repro.ledger.leveldb import LevelDBStore
+
+
+def make_store(chaincode):
+    store = LevelDBStore()
+    store.populate(chaincode.initial_state(random.Random(0)))
+    return store
+
+
+# -------------------------------------------------------------------- genChain
+def test_genchain_initial_state_size():
+    chaincode = GenChainChaincode(num_keys=500)
+    assert len(chaincode.initial_state(random.Random(0))) == 500
+
+
+def test_genchain_rejects_empty_population():
+    with pytest.raises(ValueError):
+        GenChainChaincode(num_keys=0)
+
+
+def test_genchain_functions_cover_all_operation_types():
+    chaincode = GenChainChaincode(num_keys=100)
+    assert set(chaincode.functions()) == {
+        "readKey",
+        "insertKey",
+        "updateKey",
+        "deleteKey",
+        "rangeRead",
+    }
+    assert chaincode.is_read_only("readKey")
+    assert chaincode.is_read_only("rangeRead")
+    assert not chaincode.is_read_only("updateKey")
+
+
+def test_genchain_insert_args_are_unique(rng):
+    chaincode = GenChainChaincode(num_keys=100)
+    indexes = [chaincode.sample_args("insertKey", rng)[0] for _ in range(10)]
+    assert len(set(indexes)) == 10
+    assert all(index >= 100 for index in indexes)
+
+
+def test_genchain_delete_args_walk_through_existing_keys(rng):
+    chaincode = GenChainChaincode(num_keys=50)
+    indexes = [chaincode.sample_args("deleteKey", rng)[0] for _ in range(5)]
+    assert indexes == [0, 1, 2, 3, 4]
+
+
+def test_genchain_range_width_follows_paper(rng):
+    chaincode = GenChainChaincode(num_keys=1000)
+    widths = {chaincode.sample_args("rangeRead", rng)[1] for _ in range(50)}
+    assert widths <= set(RANGE_WIDTHS)
+
+
+def test_genchain_active_keys_restricts_sampling(rng):
+    chaincode = GenChainChaincode(num_keys=10_000, active_keys=10)
+    indexes = [chaincode.sample_args("readKey", rng)[0] for _ in range(50)]
+    assert max(indexes) < 10
+
+
+def test_genchain_update_reads_and_writes(rng):
+    chaincode = GenChainChaincode(num_keys=100)
+    store = make_store(chaincode)
+    stub = ChaincodeStub(store)
+    chaincode.invoke(stub, "updateKey", (5,))
+    assert stub.read_count == 1
+    assert stub.write_count == 1
+    assert stub.rwset.writes[0].value["writes"] == 1
+
+
+def test_genchain_range_read_returns_requested_keys(rng):
+    chaincode = GenChainChaincode(num_keys=100)
+    store = make_store(chaincode)
+    stub = ChaincodeStub(store)
+    result = chaincode.invoke(stub, "rangeRead", (10, 4)).payload
+    assert len(result) == 4
+
+
+# ------------------------------------------------------------------- generator
+def test_function_spec_summary_and_read_only():
+    spec = FunctionSpec(name="mixed", reads=2, updates=1, range_reads=1)
+    assert "2xR" in spec.operation_summary()
+    assert not spec.read_only
+    assert FunctionSpec(name="lookup", reads=1).read_only
+
+
+def test_function_spec_validation():
+    with pytest.raises(ConfigurationError):
+        FunctionSpec(name="bad name", reads=1).validate()
+    with pytest.raises(ConfigurationError):
+        FunctionSpec(name="neg", reads=-1).validate()
+    with pytest.raises(ConfigurationError):
+        FunctionSpec(name="range", range_reads=1, range_size=0).validate()
+
+
+def test_generator_builds_runnable_chaincode(rng):
+    generator = ChaincodeGenerator(name="demo", num_keys=200)
+    generator.add_function(FunctionSpec(name="lookup", reads=2))
+    generator.add_function(FunctionSpec(name="transfer", reads=1, updates=2))
+    chaincode = generator.generate()
+    store = make_store(chaincode)
+    stub = ChaincodeStub(store)
+    chaincode.invoke(stub, "transfer", chaincode.sample_args("transfer", rng))
+    counts = stub.rwset.merge_counts()
+    assert counts["reads"] == 3  # one read plus two read-modify-write updates
+    assert counts["writes"] == 2
+    assert chaincode.is_read_only("lookup")
+
+
+def test_generator_rejects_duplicates_and_unknown_database():
+    generator = ChaincodeGenerator(name="demo")
+    generator.add_function(FunctionSpec(name="a", reads=1))
+    with pytest.raises(ConfigurationError):
+        generator.add_function(FunctionSpec(name="a", reads=1))
+    bad = ChaincodeGenerator(name="demo", database="oracle")
+    bad.add_function(FunctionSpec(name="b", reads=1))
+    with pytest.raises(ConfigurationError):
+        bad.generate()
+
+
+def test_generator_rich_queries_require_couchdb():
+    generator = ChaincodeGenerator(name="demo", database="leveldb")
+    with pytest.raises(ConfigurationError):
+        generator.add_function(FunctionSpec(name="rich", rich_queries=1))
+    couch = ChaincodeGenerator(name="demo", database="couchdb")
+    couch.add_function(FunctionSpec(name="rich", rich_queries=1))
+
+
+def test_generator_requires_at_least_one_function():
+    with pytest.raises(ConfigurationError):
+        ChaincodeGenerator(name="empty").generate()
+    with pytest.raises(ConfigurationError):
+        ChaincodeGenerator(name="empty").source_code()
+
+
+def test_generated_source_code_is_valid_python():
+    generator = genchain_generator(num_keys=50, database="couchdb")
+    source = generator.source_code()
+    compiled = compile(source, "<generated>", "exec")
+    namespace = {}
+    exec(compiled, namespace)  # noqa: S102 - exercising the generated module
+    chaincode_class = namespace["GenchainChaincode"]
+    chaincode = chaincode_class()
+    assert "readKey" in chaincode.functions()
+
+
+def test_genchain_generator_matches_section_4_4_mix():
+    generator = genchain_generator()
+    names = {spec.name for spec in generator.functions}
+    assert names == {"readKey", "insertKey", "updateKey", "deleteKey", "rangeRead"}
+
+
+def test_generated_chaincode_unknown_function_rejected(rng):
+    generator = ChaincodeGenerator(name="demo")
+    generator.add_function(FunctionSpec(name="only", reads=1))
+    chaincode = generator.generate()
+    with pytest.raises(ConfigurationError):
+        chaincode.sample_args("missing", rng)

@@ -1,0 +1,260 @@
+"""Unit tests for the four use-case chaincodes (paper Table 2).
+
+Each test executes chaincode functions against a freshly populated store and
+checks both the business behaviour and the read/write/range operation counts
+declared in Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chaincode.api import ChaincodeStub
+from repro.chaincode.drm import DigitalRightsChaincode
+from repro.chaincode.dv import DigitalVotingChaincode
+from repro.chaincode.ehr import ElectronicHealthRecordsChaincode
+from repro.chaincode.scm import SupplyChainChaincode
+from repro.errors import ChaincodeError
+from repro.ledger.couchdb import CouchDBStore
+from repro.ledger.leveldb import LevelDBStore
+
+
+def execute(chaincode, store, function, args):
+    stub = ChaincodeStub(store)
+    response = chaincode.invoke(stub, function, args)
+    return stub, response
+
+
+def populated(chaincode, store_class=LevelDBStore):
+    store = store_class()
+    store.populate(chaincode.initial_state(random.Random(3)))
+    return store
+
+
+#: Expected (reads, writes+deletes, range_reads) per function, from Table 2.
+TABLE2_EXPECTED = {
+    "EHR": {
+        "initLedger": (0, 2, 0),
+        "addEhr": (2, 2, 0),
+        "grantProfileAccess": (1, 1, 0),
+        "readProfile": (1, 0, 0),
+        "revokeProfileAccess": (1, 1, 0),
+        "viewPartialProfile": (1, 0, 0),
+        "revokeEhrAccess": (2, 2, 0),
+        "viewEHR": (1, 0, 0),
+        "grantEhrAccess": (2, 2, 0),
+        "queryEHR": (1, 0, 0),
+    },
+    "DV": {
+        "initLedger": (0, 3, 0),
+        "vote": (1, 2, 2),
+        "closeElctn": (1, 1, 0),
+        "qryParties": (1, 0, 1),
+        "seeResults": (1, 0, 1),
+    },
+    "SCM": {
+        "initLedger": (0, 2, 0),
+        "pushASN": (0, 1, 0),
+        "Ship": (2, 2, 0),
+        "Unload": (2, 2, 0),
+        "queryASN": (0, 0, 1),
+        "queryStock": (0, 0, 1),
+    },
+    "DRM": {
+        "initLedger": (0, 2, 0),
+        "create": (1, 2, 0),
+        "play": (2, 1, 0),
+        "queryRghts": (2, 0, 0),
+        "viewMetaData": (1, 0, 0),
+        "calcRevenue": (0, 0, 1),
+    },
+}
+
+
+def chaincode_instances():
+    return {
+        "EHR": ElectronicHealthRecordsChaincode(patients=20),
+        "DV": DigitalVotingChaincode(voters=50, parties=4),
+        "SCM": SupplyChainChaincode(units_per_lsp=[20, 20, 20, 20, 40]),
+        "DRM": DigitalRightsChaincode(artworks=30, right_holders=30),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_EXPECTED))
+def test_operation_counts_match_table2(name):
+    chaincode = chaincode_instances()[name]
+    store = populated(chaincode, CouchDBStore)
+    rng = random.Random(5)
+    for function, (reads, writes, ranges) in TABLE2_EXPECTED[name].items():
+        stub, _response = execute(chaincode, store, function, chaincode.sample_args(function, rng))
+        counts = stub.rwset.merge_counts()
+        assert counts["reads"] == reads, f"{name}.{function} reads"
+        assert counts["writes"] + counts["deletes"] == writes, f"{name}.{function} writes"
+        assert counts["range_reads"] == ranges, f"{name}.{function} range reads"
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_EXPECTED))
+def test_operation_profile_covers_every_function(name):
+    chaincode = chaincode_instances()[name]
+    assert set(chaincode.operation_profile()) == set(chaincode.functions())
+
+
+# ----------------------------------------------------------------------- EHR
+def test_ehr_initial_state_has_profiles_and_records():
+    chaincode = ElectronicHealthRecordsChaincode(patients=10)
+    state = chaincode.initial_state(random.Random(0))
+    assert len(state) == 20
+    assert chaincode.profile_key(0) in state
+    assert chaincode.ehr_key(9) in state
+
+
+def test_ehr_grant_and_revoke_profile_access():
+    chaincode = ElectronicHealthRecordsChaincode(patients=5)
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "grantProfileAccess", (1, "actor_1"))
+    granted = next(write.value for write in stub.rwset.writes)
+    assert "actor_1" in granted["profile_access"]
+    store.put(chaincode.profile_key(1), granted, store.get_version(chaincode.profile_key(1)))
+    stub, _ = execute(chaincode, store, "revokeProfileAccess", (1, "actor_1"))
+    revoked = next(write.value for write in stub.rwset.writes)
+    assert "actor_1" not in revoked["profile_access"]
+
+
+def test_ehr_add_record_increments_count():
+    chaincode = ElectronicHealthRecordsChaincode(patients=5)
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "addEhr", (2, "actor_0", "visit-1"))
+    writes = {write.key: write.value for write in stub.rwset.writes}
+    assert writes[chaincode.profile_key(2)]["record_count"] == 1
+    assert writes[chaincode.ehr_key(2)]["records"] == ["visit-1"]
+
+
+def test_ehr_read_functions_are_read_only():
+    chaincode = ElectronicHealthRecordsChaincode()
+    for function in ("readProfile", "viewPartialProfile", "viewEHR", "queryEHR"):
+        assert chaincode.is_read_only(function)
+
+
+def test_ehr_missing_patient_raises():
+    chaincode = ElectronicHealthRecordsChaincode(patients=5)
+    store = populated(chaincode)
+    with pytest.raises(ChaincodeError):
+        execute(chaincode, store, "addEhr", (99, "actor_0", "x"))
+
+
+# ------------------------------------------------------------------------ DV
+def test_dv_vote_marks_voter_and_increments_party():
+    chaincode = DigitalVotingChaincode(voters=20, parties=3)
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "vote", (5, 1))
+    writes = {write.key: write.value for write in stub.rwset.writes}
+    assert writes[chaincode.voter_key(5)]["voted"] is True
+    assert writes[chaincode.party_key(1)]["votes"] == 1
+
+
+def test_dv_vote_scans_all_voters():
+    chaincode = DigitalVotingChaincode(voters=15, parties=3)
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "vote", (0, 0))
+    voter_range = stub.rwset.range_reads[0]
+    assert len(voter_range.reads) == 15
+
+
+def test_dv_close_election_blocks_votes():
+    chaincode = DigitalVotingChaincode(voters=10, parties=2)
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "closeElctn", ())
+    closed = next(write.value for write in stub.rwset.writes)
+    store.put("election_state", closed, store.get_version("election_state"))
+    with pytest.raises(ChaincodeError):
+        execute(chaincode, store, "vote", (1, 1))
+
+
+def test_dv_results_tally_parties():
+    chaincode = DigitalVotingChaincode(voters=10, parties=4)
+    store = populated(chaincode)
+    _stub, response = execute(chaincode, store, "seeResults", ())
+    assert len(response.payload) == 4
+
+
+# ----------------------------------------------------------------------- SCM
+def test_scm_initial_population_counts():
+    chaincode = SupplyChainChaincode(units_per_lsp=[3, 3, 5])
+    state = chaincode.initial_state(random.Random(0))
+    units = [key for key in state if key.startswith("unit_")]
+    lsps = [key for key in state if key.startswith("lsp_")]
+    assert len(units) == 11
+    assert len(lsps) == 3
+
+
+def test_scm_ship_moves_unit_to_destination():
+    chaincode = SupplyChainChaincode(units_per_lsp=[5, 5])
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "Ship", (0, 2, 1))
+    writes = {write.key: write.value for write in stub.rwset.writes}
+    assert writes[chaincode.unit_key(0, 2)]["lsp"] == 1
+    assert writes[chaincode.lsp_key(1)]["unit_count"] == 6
+
+
+def test_scm_query_stock_has_no_phantom_detection_on_both_backends():
+    chaincode = SupplyChainChaincode(units_per_lsp=[4, 4])
+    for store_class in (LevelDBStore, CouchDBStore):
+        store = populated(chaincode, store_class)
+        stub, response = execute(chaincode, store, "queryStock", (0,))
+        assert not stub.rwset.range_reads[0].phantom_detection
+        assert response.payload > 0
+
+
+def test_scm_query_asn_scans_one_lsp_only():
+    chaincode = SupplyChainChaincode(units_per_lsp=[4, 6])
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "queryASN", (1,))
+    assert len(stub.rwset.range_reads[0].reads) == 6
+
+
+def test_scm_push_asn_uses_unique_ids(rng):
+    chaincode = SupplyChainChaincode(units_per_lsp=[4, 4])
+    first = chaincode.sample_args("pushASN", rng)
+    second = chaincode.sample_args("pushASN", rng)
+    assert first[0] != second[0]
+
+
+# ----------------------------------------------------------------------- DRM
+def test_drm_play_increments_play_count():
+    chaincode = DigitalRightsChaincode(artworks=10, right_holders=5)
+    store = populated(chaincode)
+    stub, _ = execute(chaincode, store, "play", (3,))
+    writes = {write.key: write.value for write in stub.rwset.writes}
+    assert writes[chaincode.artwork_key(3)]["plays"] == 1
+
+
+def test_drm_calc_revenue_uses_rich_query_on_couchdb():
+    chaincode = DigitalRightsChaincode(artworks=10, right_holders=5)
+    store = populated(chaincode, CouchDBStore)
+    stub, response = execute(chaincode, store, "calcRevenue", (1,))
+    assert stub.rwset.range_reads[0].rich_query
+    assert response.payload == pytest.approx(0.0)
+
+
+def test_drm_calc_revenue_falls_back_on_leveldb():
+    chaincode = DigitalRightsChaincode(artworks=10, right_holders=5)
+    store = populated(chaincode, LevelDBStore)
+    stub, _ = execute(chaincode, store, "calcRevenue", (1,))
+    assert not stub.rwset.range_reads[0].phantom_detection
+
+
+def test_drm_create_registers_new_artwork(rng):
+    chaincode = DigitalRightsChaincode(artworks=10, right_holders=5)
+    store = populated(chaincode)
+    args = chaincode.sample_args("create", rng)
+    stub, _ = execute(chaincode, store, "create", args)
+    assert len(stub.rwset.writes) == 2
+
+
+def test_sample_args_use_index_chooser():
+    chaincode = ElectronicHealthRecordsChaincode(patients=50)
+    rng = random.Random(0)
+    args = chaincode.sample_args("readProfile", rng, index_chooser=lambda n: 7)
+    assert args[0] == 7

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_unknown_variant():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--variant", "besu"])
+
+
+def test_run_command_prints_failure_breakdown(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--chaincode",
+            "EHR",
+            "--cluster",
+            "C1",
+            "--database",
+            "leveldb",
+            "--block-size",
+            "10",
+            "--rate",
+            "40",
+            "--duration",
+            "2",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "total failures (%)" in captured.out
+    assert "endorsement policy failures (%)" in captured.out
+
+
+def test_compare_command_lists_each_variant(capsys):
+    exit_code = main(
+        [
+            "compare",
+            "--variants",
+            "fabric-1.4",
+            "fabricsharp",
+            "--database",
+            "leveldb",
+            "--block-size",
+            "10",
+            "--rate",
+            "40",
+            "--duration",
+            "2",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "fabric-1.4" in captured.out
+    assert "fabricsharp" in captured.out
+
+
+def test_figure_command_regenerates_an_artefact(capsys):
+    exit_code = main(["figure", "table2", "--scale", "quick"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Table 2" in captured.out
+    assert "addEhr" in captured.out
+
+
+def test_figure_command_rejects_unknown_artefact():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])

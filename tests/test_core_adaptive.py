@@ -1,0 +1,114 @@
+"""Unit tests for the adaptive block-size controller and the offline tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveBlockSizeController, BlockSizeTuner, SweepResult
+from repro.errors import ConfigurationError
+
+
+# ------------------------------------------------------------------------ tuner
+def test_tuner_finds_best_and_worst_block_size():
+    tuner = BlockSizeTuner(candidates=(10, 50, 100))
+    failures = {10: 30.0, 50: 10.0, 100: 25.0}
+    result = tuner.sweep(lambda size: failures[size])
+    assert result.best_block_size == 50
+    assert result.worst_block_size == 10
+    assert result.min_failures == 10.0
+    assert result.max_failures == 30.0
+    assert result.improvement_pct == pytest.approx(100 * 20 / 30)
+
+
+def test_tuner_tie_breaking_prefers_smaller_best():
+    result = BlockSizeTuner(candidates=(10, 100)).sweep(lambda size: 5.0)
+    assert result.best_block_size == 10
+    assert result.worst_block_size == 100
+    assert result.improvement_pct == 0.0
+
+
+def test_tuner_validation():
+    with pytest.raises(ConfigurationError):
+        BlockSizeTuner(candidates=())
+    with pytest.raises(ConfigurationError):
+        BlockSizeTuner(candidates=(0, 10))
+
+
+def test_tuner_deduplicates_candidates():
+    tuner = BlockSizeTuner(candidates=(10, 10, 50))
+    assert tuner.candidates == [10, 50]
+
+
+def test_sweep_result_zero_failures_everywhere():
+    result = SweepResult(failures_by_block_size={10: 0.0, 50: 0.0})
+    assert result.improvement_pct == 0.0
+
+
+# -------------------------------------------------------------------- controller
+def test_controller_suggestion_scales_with_rate():
+    controller = AdaptiveBlockSizeController(min_block_size=10, max_block_size=500, smoothing=1.0)
+    low = controller.suggest(20)
+    controller.reset()
+    high = controller.suggest(400)
+    assert low < high
+    assert low >= 10
+    assert high <= 500
+
+
+def test_controller_clamps_to_bounds():
+    controller = AdaptiveBlockSizeController(min_block_size=20, max_block_size=50, smoothing=1.0)
+    assert controller.suggest(1) == 20
+    controller.reset()
+    assert controller.suggest(10_000) == 50
+
+
+def test_controller_uses_observations_when_no_rate_given():
+    controller = AdaptiveBlockSizeController(smoothing=1.0, target_fill_time=1.0)
+    controller.observe(0.0, 10.0, 1000)  # 100 tps
+    assert controller.observed_rate == pytest.approx(100.0)
+    assert controller.suggest() == 100
+
+
+def test_controller_smoothing_damps_changes():
+    controller = AdaptiveBlockSizeController(smoothing=0.5, target_fill_time=1.0)
+    first = controller.suggest(100)
+    second = controller.suggest(400)
+    assert first < second < 400
+
+
+def test_controller_prefers_calibration_table():
+    controller = AdaptiveBlockSizeController(
+        smoothing=1.0, calibration={10: 10, 100: 50, 200: 150}
+    )
+    assert controller.suggest(95) == 50
+    controller.reset()
+    assert controller.suggest(210) == 150
+
+
+def test_controller_zero_rate_gives_minimum():
+    controller = AdaptiveBlockSizeController(min_block_size=25)
+    assert controller.suggest(0) == 25
+
+
+def test_controller_validation_errors():
+    with pytest.raises(ConfigurationError):
+        AdaptiveBlockSizeController(min_block_size=0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveBlockSizeController(min_block_size=100, max_block_size=10)
+    with pytest.raises(ConfigurationError):
+        AdaptiveBlockSizeController(smoothing=0.0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveBlockSizeController(target_fill_time=0.0)
+    controller = AdaptiveBlockSizeController()
+    with pytest.raises(ConfigurationError):
+        controller.observe(5.0, 5.0, 10)
+    with pytest.raises(ConfigurationError):
+        controller.observe(0.0, 1.0, -1)
+
+
+def test_controller_reset_clears_state():
+    controller = AdaptiveBlockSizeController(smoothing=0.5)
+    controller.observe(0.0, 1.0, 100)
+    controller.suggest()
+    controller.reset()
+    assert controller.observed_rate == 0.0

@@ -1,0 +1,176 @@
+"""Unit tests for the versioned key-value store and the database profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LedgerError, UnsupportedFeatureError
+from repro.ledger.couchdb import CouchDBStore
+from repro.ledger.kvstore import (
+    COUCHDB_PROFILE,
+    GENESIS_VERSION,
+    LEVELDB_PROFILE,
+    Version,
+    VersionedKVStore,
+)
+from repro.ledger.leveldb import LevelDBStore
+
+
+def test_put_get_roundtrip():
+    store = VersionedKVStore()
+    store.put("a", {"v": 1}, Version(1, 0))
+    entry = store.get("a")
+    assert entry.value == {"v": 1}
+    assert entry.version == Version(1, 0)
+    assert store.get_version("a") == Version(1, 0)
+    assert store.get_value("a") == {"v": 1}
+
+
+def test_missing_key_returns_none():
+    store = VersionedKVStore()
+    assert store.get("missing") is None
+    assert store.get_version("missing") is None
+    assert store.get_value("missing") is None
+    assert "missing" not in store
+
+
+def test_overwrite_updates_version():
+    store = VersionedKVStore()
+    store.put("a", 1, Version(1, 0))
+    store.put("a", 2, Version(2, 3))
+    assert store.get_value("a") == 2
+    assert store.get_version("a") == Version(2, 3)
+    assert len(store) == 1
+
+
+def test_delete_removes_key():
+    store = VersionedKVStore()
+    store.put("a", 1, Version(1, 0))
+    store.delete("a")
+    assert store.get("a") is None
+    assert store.keys() == []
+    store.delete("a")  # deleting a missing key is a no-op
+
+
+def test_keys_are_sorted():
+    store = VersionedKVStore()
+    for key in ("b", "a", "d", "c"):
+        store.put(key, key, Version(1, 0))
+    assert store.keys() == ["a", "b", "c", "d"]
+
+
+def test_range_is_half_open_and_sorted():
+    store = VersionedKVStore()
+    for index in range(5):
+        store.put(f"k{index}", index, Version(1, index))
+    result = store.range("k1", "k4")
+    assert [key for key, _entry in result] == ["k1", "k2", "k3"]
+
+
+def test_range_with_invalid_bounds_rejected():
+    store = VersionedKVStore()
+    with pytest.raises(LedgerError):
+        store.range("z", "a")
+
+
+def test_empty_key_rejected():
+    store = VersionedKVStore()
+    with pytest.raises(LedgerError):
+        store.put("", 1, Version(1, 0))
+
+
+def test_populate_uses_genesis_version_and_sorts():
+    store = VersionedKVStore()
+    store.populate({"b": 2, "a": 1})
+    assert store.keys() == ["a", "b"]
+    assert store.get_version("a") == GENESIS_VERSION
+    assert len(store) == 2
+
+
+def test_populate_rejects_bad_keys():
+    store = VersionedKVStore()
+    with pytest.raises(LedgerError):
+        store.populate({"": 1})
+
+
+def test_copy_is_independent():
+    store = VersionedKVStore()
+    store.populate({"a": 1, "b": 2})
+    clone = store.copy()
+    clone.put("a", 99, Version(5, 0))
+    clone.put("c", 3, Version(5, 1))
+    assert store.get_value("a") == 1
+    assert "c" not in store
+    assert clone.get_value("a") == 99
+
+
+def test_scan_filters_by_predicate():
+    store = VersionedKVStore()
+    store.populate({"a": {"x": 1}, "b": {"x": 2}, "c": {"x": 1}})
+    matches = store.scan(lambda key, value: value["x"] == 1)
+    assert [key for key, _entry in matches] == ["a", "c"]
+
+
+def test_snapshot_versions():
+    store = VersionedKVStore()
+    store.put("a", 1, Version(2, 0))
+    assert store.snapshot_versions() == {"a": Version(2, 0)}
+
+
+def test_versions_are_ordered():
+    assert Version(1, 5) < Version(2, 0)
+    assert Version(2, 1) < Version(2, 2)
+    assert str(Version(3, 4)) == "3.4"
+
+
+# ----------------------------------------------------------------- db backends
+def test_leveldb_profile_is_faster_than_couchdb():
+    assert LEVELDB_PROFILE.get_state < COUCHDB_PROFILE.get_state
+    assert LEVELDB_PROFILE.range_cost(8) < COUCHDB_PROFILE.range_cost(8)
+    assert LEVELDB_PROFILE.commit_per_write < COUCHDB_PROFILE.commit_per_write
+    assert LEVELDB_PROFILE.mvcc_check_per_key < COUCHDB_PROFILE.mvcc_check_per_key
+
+
+def test_range_cost_grows_with_key_count():
+    assert COUCHDB_PROFILE.range_cost(100) > COUCHDB_PROFILE.range_cost(1)
+    assert COUCHDB_PROFILE.rich_query_cost(100) > COUCHDB_PROFILE.rich_query_cost(1)
+
+
+def test_leveldb_rejects_rich_queries():
+    store = LevelDBStore()
+    with pytest.raises(UnsupportedFeatureError):
+        store.rich_query({"field": 1})
+
+
+def test_couchdb_rich_query_with_selector_dict():
+    store = CouchDBStore()
+    store.populate({"a": {"kind": "x", "n": 1}, "b": {"kind": "y", "n": 2}, "c": {"kind": "x"}})
+    results = store.rich_query({"kind": "x"})
+    assert [key for key, _entry in results] == ["a", "c"]
+
+
+def test_couchdb_rich_query_with_callable():
+    store = CouchDBStore()
+    store.populate({"a": {"n": 1}, "b": {"n": 5}})
+    results = store.rich_query(lambda value: value["n"] > 2)
+    assert [key for key, _entry in results] == ["b"]
+
+
+def test_couchdb_rich_query_ignores_non_dict_documents():
+    store = CouchDBStore()
+    store.populate({"a": 5, "b": {"kind": "x"}})
+    results = store.rich_query({"kind": "x"})
+    assert [key for key, _entry in results] == ["b"]
+
+
+def test_couchdb_rich_query_rejects_bad_selector():
+    store = CouchDBStore()
+    with pytest.raises(LedgerError):
+        store.rich_query(42)
+
+
+def test_profiles_advertise_rich_query_support():
+    assert COUCHDB_PROFILE.supports_rich_queries
+    assert not LEVELDB_PROFILE.supports_rich_queries
+    assert LevelDBStore().latency is LEVELDB_PROFILE
+    assert CouchDBStore().latency is COUCHDB_PROFILE

@@ -1,0 +1,163 @@
+"""Unit tests for canonical block validation (VSCC, MVCC, phantom checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ledger.block import Block, Transaction, ValidationCode
+from repro.ledger.kvstore import GENESIS_VERSION, Version, VersionedKVStore
+from repro.ledger.rwset import KeyRead, KeyWrite, RangeRead, ReadWriteSet
+from repro.network.validator import BlockValidator
+
+
+def make_store(keys=("a", "b", "c")):
+    store = VersionedKVStore()
+    store.populate({key: {"value": key} for key in keys})
+    return store
+
+
+def make_tx(tx_id, reads=(), writes=(), range_reads=(), mismatch=False):
+    tx = Transaction(tx_id=tx_id, client_name="c", chaincode_name="t", function="f")
+    tx.rwset = ReadWriteSet(reads=list(reads), writes=list(writes), range_reads=list(range_reads))
+    tx.endorsement_mismatch = mismatch
+    return tx
+
+
+def test_valid_transaction_updates_state_and_versions():
+    store = make_store()
+    validator = BlockValidator(store)
+    tx = make_tx("t1", reads=[KeyRead("a", GENESIS_VERSION)], writes=[KeyWrite("a", 42)])
+    validator.validate_block(Block(number=1, transactions=[tx]))
+    assert tx.validation_code is ValidationCode.VALID
+    assert store.get_value("a") == 42
+    assert store.get_version("a") == Version(1, 0)
+    assert validator.last_writer_block("a") == 1
+
+
+def test_stale_read_fails_mvcc():
+    store = make_store()
+    validator = BlockValidator(store)
+    writer = make_tx("w", reads=[KeyRead("a", GENESIS_VERSION)], writes=[KeyWrite("a", 1)])
+    validator.validate_block(Block(number=1, transactions=[writer]))
+    stale = make_tx("r", reads=[KeyRead("a", GENESIS_VERSION)], writes=[KeyWrite("b", 2)])
+    validator.validate_block(Block(number=2, transactions=[stale]))
+    assert stale.validation_code is ValidationCode.MVCC_READ_CONFLICT
+    assert stale.conflicting_key == "a"
+    assert stale.conflicting_block == 1
+    assert store.get_value("b") == {"value": "b"}
+
+
+def test_intra_block_dependency_fails_second_transaction():
+    store = make_store()
+    validator = BlockValidator(store)
+    first = make_tx("t1", reads=[KeyRead("a", GENESIS_VERSION)], writes=[KeyWrite("a", 1)])
+    second = make_tx("t2", reads=[KeyRead("a", GENESIS_VERSION)], writes=[KeyWrite("a", 2)])
+    validator.validate_block(Block(number=1, transactions=[first, second]))
+    assert first.validation_code is ValidationCode.VALID
+    assert second.validation_code is ValidationCode.MVCC_READ_CONFLICT
+    assert second.conflicting_block == 1
+
+
+def test_read_of_deleted_key_fails():
+    store = make_store()
+    validator = BlockValidator(store)
+    deleter = make_tx("d", writes=[KeyWrite("a", None, is_delete=True)])
+    validator.validate_block(Block(number=1, transactions=[deleter]))
+    reader = make_tx("r", reads=[KeyRead("a", GENESIS_VERSION)])
+    validator.validate_block(Block(number=2, transactions=[reader]))
+    assert reader.validation_code is ValidationCode.MVCC_READ_CONFLICT
+    assert "a" not in store
+
+
+def test_read_of_newly_inserted_key_fails_when_endorsed_as_missing():
+    store = make_store()
+    validator = BlockValidator(store)
+    inserter = make_tx("i", writes=[KeyWrite("new", 1)])
+    validator.validate_block(Block(number=1, transactions=[inserter]))
+    reader = make_tx("r", reads=[KeyRead("new", None)])
+    validator.validate_block(Block(number=2, transactions=[reader]))
+    assert reader.validation_code is ValidationCode.MVCC_READ_CONFLICT
+
+
+def test_endorsement_mismatch_takes_precedence():
+    store = make_store()
+    validator = BlockValidator(store)
+    tx = make_tx("t", reads=[KeyRead("a", GENESIS_VERSION)], writes=[KeyWrite("a", 1)], mismatch=True)
+    validator.validate_block(Block(number=1, transactions=[tx]))
+    assert tx.validation_code is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+    assert store.get_value("a") == {"value": "a"}
+
+
+def test_missing_rwset_is_an_endorsement_failure():
+    store = make_store()
+    validator = BlockValidator(store)
+    tx = Transaction(tx_id="x", client_name="c", chaincode_name="t", function="f")
+    validator.validate_block(Block(number=1, transactions=[tx]))
+    assert tx.validation_code is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+
+def test_phantom_detected_when_key_updated_inside_range():
+    store = make_store(keys=("k1", "k2", "k3"))
+    validator = BlockValidator(store)
+    writer = make_tx("w", writes=[KeyWrite("k2", 99)])
+    range_read = RangeRead(
+        start_key="k1",
+        end_key="k9",
+        reads=[KeyRead("k1", GENESIS_VERSION), KeyRead("k2", GENESIS_VERSION), KeyRead("k3", GENESIS_VERSION)],
+    )
+    reader = make_tx("r", range_reads=[range_read])
+    validator.validate_block(Block(number=1, transactions=[writer]))
+    validator.validate_block(Block(number=2, transactions=[reader]))
+    assert reader.validation_code is ValidationCode.PHANTOM_READ_CONFLICT
+    assert reader.conflicting_key == "k2"
+
+
+def test_phantom_detected_when_key_inserted_inside_range():
+    store = make_store(keys=("k1", "k3"))
+    validator = BlockValidator(store)
+    inserter = make_tx("i", writes=[KeyWrite("k2", 1)])
+    range_read = RangeRead(
+        start_key="k1",
+        end_key="k9",
+        reads=[KeyRead("k1", GENESIS_VERSION), KeyRead("k3", GENESIS_VERSION)],
+    )
+    reader = make_tx("r", range_reads=[range_read])
+    validator.validate_block(Block(number=1, transactions=[inserter]))
+    validator.validate_block(Block(number=2, transactions=[reader]))
+    assert reader.validation_code is ValidationCode.PHANTOM_READ_CONFLICT
+
+
+def test_rich_queries_never_cause_phantom_failures():
+    store = make_store(keys=("k1", "k2"))
+    validator = BlockValidator(store)
+    writer = make_tx("w", writes=[KeyWrite("k2", 99)])
+    rich_read = RangeRead(
+        start_key="",
+        end_key="",
+        reads=[KeyRead("k2", GENESIS_VERSION)],
+        phantom_detection=False,
+        rich_query=True,
+    )
+    reader = make_tx("r", range_reads=[rich_read])
+    validator.validate_block(Block(number=1, transactions=[writer]))
+    validator.validate_block(Block(number=2, transactions=[reader]))
+    assert reader.validation_code is ValidationCode.VALID
+
+
+def test_reordering_aborts_are_left_untouched():
+    store = make_store()
+    validator = BlockValidator(store)
+    tx = make_tx("t", writes=[KeyWrite("a", 1)])
+    tx.validation_code = ValidationCode.ABORTED_BY_REORDERING
+    validator.validate_block(Block(number=1, transactions=[tx]))
+    assert tx.validation_code is ValidationCode.ABORTED_BY_REORDERING
+    assert store.get_value("a") == {"value": "a"}
+
+
+def test_block_and_index_are_recorded_on_transactions():
+    store = make_store()
+    validator = BlockValidator(store)
+    txs = [make_tx(f"t{i}", writes=[KeyWrite(f"x{i}", i)]) for i in range(3)]
+    validator.validate_block(Block(number=1, transactions=txs))
+    assert [tx.tx_index for tx in txs] == [0, 1, 2]
+    assert all(tx.block_number == 1 for tx in txs)

@@ -1,0 +1,98 @@
+"""Property-based tests for the versioned key-value store (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.kvstore import Version, VersionedKVStore
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=4)
+values = st.integers(min_value=0, max_value=1000)
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of put/delete operations with increasing versions."""
+    count = draw(st.integers(min_value=0, max_value=40))
+    ops = []
+    for index in range(count):
+        op = draw(st.sampled_from(["put", "delete"]))
+        key = draw(keys)
+        value = draw(values)
+        ops.append((op, key, value, Version(1, index)))
+    return ops
+
+
+def apply_to_model(ops):
+    model = {}
+    for op, key, value, version in ops:
+        if op == "put":
+            model[key] = (value, version)
+        else:
+            model.pop(key, None)
+    return model
+
+
+def apply_to_store(ops):
+    store = VersionedKVStore()
+    for op, key, value, version in ops:
+        if op == "put":
+            store.put(key, value, version)
+        else:
+            store.delete(key)
+    return store
+
+
+@given(operations())
+@settings(max_examples=60, deadline=None)
+def test_store_matches_dict_model(ops):
+    store = apply_to_store(ops)
+    model = apply_to_model(ops)
+    assert len(store) == len(model)
+    assert store.keys() == sorted(model)
+    for key, (value, version) in model.items():
+        assert store.get_value(key) == value
+        assert store.get_version(key) == version
+
+
+@given(operations(), keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_range_matches_model_filter(ops, low, high):
+    start, end = min(low, high), max(low, high)
+    store = apply_to_store(ops)
+    model = apply_to_model(ops)
+    expected = sorted(key for key in model if start <= key < end)
+    assert [key for key, _entry in store.range(start, end)] == expected
+
+
+@given(operations())
+@settings(max_examples=40, deadline=None)
+def test_keys_are_always_sorted_and_unique(ops):
+    store = apply_to_store(ops)
+    listed = store.keys()
+    assert listed == sorted(listed)
+    assert len(listed) == len(set(listed))
+
+
+@given(operations())
+@settings(max_examples=40, deadline=None)
+def test_copy_equals_original_and_is_independent(ops):
+    store = apply_to_store(ops)
+    clone = store.copy()
+    assert clone.keys() == store.keys()
+    for key in store.keys():
+        assert clone.get_version(key) == store.get_version(key)
+    clone.put("zzzz", 1, Version(9, 0))
+    assert "zzzz" not in store
+
+
+@given(st.dictionaries(keys, values, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_populate_matches_bulk_dict(initial):
+    store = VersionedKVStore()
+    store.populate(initial)
+    assert len(store) == len(initial)
+    assert store.keys() == sorted(initial)
+    for key, value in initial.items():
+        assert store.get_value(key) == value

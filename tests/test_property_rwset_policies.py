@@ -1,0 +1,114 @@
+"""Property-based tests for read/write sets, endorsement policies and distributions."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.kvstore import Version
+from repro.ledger.rwset import KeyRead, KeyWrite, ReadWriteSet, read_sets_consistent
+from repro.network.endorsement import NOutOf, SignedBy, standard_policies
+from repro.workload.distributions import ZipfianDistribution
+
+keys = st.text(alphabet="pqrs", min_size=1, max_size=3)
+versions = st.one_of(
+    st.none(),
+    st.builds(Version, block_number=st.integers(0, 5), tx_number=st.integers(0, 5)),
+)
+
+
+@st.composite
+def rwsets(draw):
+    reads = [
+        KeyRead(key=draw(keys), version=draw(versions))
+        for _ in range(draw(st.integers(0, 5)))
+    ]
+    writes = [KeyWrite(key=draw(keys), value=draw(st.integers())) for _ in range(draw(st.integers(0, 5)))]
+    return ReadWriteSet(reads=reads, writes=writes)
+
+
+# ---------------------------------------------------------------------- rwsets
+@given(rwsets(), rwsets())
+@settings(max_examples=80, deadline=None)
+def test_dependency_iff_read_write_key_overlap(reader, writer):
+    overlap = bool(reader.read_keys() & writer.write_keys())
+    assert reader.depends_on(writer) == overlap
+
+
+@given(rwsets())
+@settings(max_examples=50, deadline=None)
+def test_read_set_is_self_consistent_unless_it_contradicts_itself(rwset):
+    versions_per_key = {}
+    contradiction = False
+    for read in rwset.all_reads():
+        if read.key in versions_per_key and versions_per_key[read.key] != read.version:
+            contradiction = True
+        versions_per_key.setdefault(read.key, read.version)
+    assert read_sets_consistent([rwset, rwset]) == (not contradiction)
+
+
+@given(rwsets())
+@settings(max_examples=50, deadline=None)
+def test_merge_counts_add_up(rwset):
+    counts = rwset.merge_counts()
+    assert counts["reads"] == len(rwset.reads)
+    assert counts["writes"] + counts["deletes"] == len(rwset.writes)
+
+
+# -------------------------------------------------------------------- policies
+@st.composite
+def policies(draw, max_orgs=6):
+    orgs = draw(st.integers(min_value=2, max_value=max_orgs))
+
+    def build(depth):
+        if depth == 0 or draw(st.booleans()):
+            return SignedBy(draw(st.integers(0, orgs - 1)))
+        child_count = draw(st.integers(1, 3))
+        children = tuple(build(depth - 1) for _ in range(child_count))
+        n = draw(st.integers(1, len(children)))
+        return NOutOf(n=n, children=children)
+
+    children = tuple(build(1) for _ in range(draw(st.integers(1, 4))))
+    n = draw(st.integers(1, len(children)))
+    return NOutOf(n=n, children=children), orgs
+
+
+@given(policies(), st.integers(0, 1_000_000))
+@settings(max_examples=80, deadline=None)
+def test_selected_orgs_always_satisfy_the_policy(policy_and_orgs, seed):
+    policy, orgs = policy_and_orgs
+    rng = random.Random(seed)
+    selected = policy.select_orgs(rng)
+    assert policy.evaluate(selected)
+    assert selected <= set(range(orgs))
+    assert policy.evaluate(policy.organizations())
+
+
+@given(policies())
+@settings(max_examples=60, deadline=None)
+def test_min_signatures_bounded_by_leaf_count(policy_and_orgs):
+    policy, _orgs = policy_and_orgs
+    leaf_count = policy.describe().count("signed-by")
+    assert 1 <= policy.min_signatures() <= leaf_count
+
+
+@given(st.integers(2, 12), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_standard_policies_are_satisfied_by_all_orgs_signing(num_orgs, seed):
+    rng = random.Random(seed)
+    everyone = set(range(num_orgs))
+    for name, policy in standard_policies(num_orgs).items():
+        assert policy.evaluate(everyone), name
+        assert policy.select_orgs(rng) <= everyone
+
+
+# --------------------------------------------------------------- distributions
+@given(st.floats(0.0, 3.0), st.integers(1, 500), st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_zipf_samples_always_in_population(skew, population, seed):
+    distribution = ZipfianDistribution(skew)
+    rng = random.Random(seed)
+    for _ in range(10):
+        assert 0 <= distribution.sample(rng, population) < population

@@ -1,0 +1,123 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_initial_clock_is_zero(sim):
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.processed_events == 0
+
+
+def test_events_run_in_time_order(sim):
+    seen = []
+    sim.schedule(2.0, lambda: seen.append("b"))
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(3.0, lambda: seen.append("c"))
+    sim.run_until_empty()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_same_time_events_run_in_scheduling_order(sim):
+    seen = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, label)
+    sim.run_until_empty()
+    assert seen == ["first", "second", "third"]
+
+
+def test_schedule_passes_arguments(sim):
+    results = []
+    sim.schedule(0.5, lambda a, b: results.append(a + b), 2, 3)
+    sim.run_until_empty()
+    assert results == [5]
+
+
+def test_clock_advances_to_event_time(sim):
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(4.0, lambda: times.append(sim.now))
+    sim.run_until_empty()
+    assert times == [pytest.approx(1.5), pytest.approx(4.0)]
+
+
+def test_run_until_limit_stops_early(sim):
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(10.0, seen.append, 2)
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == pytest.approx(5.0)
+    assert sim.pending_events == 1
+
+
+def test_run_until_extends_clock_even_without_events(sim):
+    sim.run(until=7.0)
+    assert sim.now == pytest.approx(7.0)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_before_now_rejected(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run_until_empty()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_events_are_skipped(sim):
+    seen = []
+    event = sim.schedule(1.0, seen.append, "cancelled")
+    sim.schedule(2.0, seen.append, "kept")
+    event.cancel()
+    sim.run_until_empty()
+    assert seen == ["kept"]
+    assert sim.processed_events == 1
+
+
+def test_events_scheduled_during_run_are_processed(sim):
+    seen = []
+
+    def chain(step):
+        seen.append(step)
+        if step < 3:
+            sim.schedule(1.0, chain, step + 1)
+
+    sim.schedule(1.0, chain, 1)
+    sim.run_until_empty()
+    assert seen == [1, 2, 3]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_reentrant_run_is_rejected(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run_until_empty()
+
+    sim.schedule(1.0, nested)
+    sim.run_until_empty()
+
+
+def test_processed_event_count(sim):
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, lambda: None)
+    sim.run_until_empty()
+    assert sim.processed_events == 3
+
+
+def test_fresh_simulators_are_independent():
+    first = Simulator()
+    second = Simulator()
+    first.schedule(1.0, lambda: None)
+    first.run_until_empty()
+    assert second.now == 0.0
+    assert second.pending_events == 0

@@ -1,0 +1,134 @@
+"""Unit tests for the random streams and the statistics accumulators."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import OnlineStats, TimeWeightedStats, percentile
+
+
+# ------------------------------------------------------------------ RandomStreams
+def test_same_seed_and_name_give_same_sequence():
+    first = RandomStreams(42).stream("arrivals")
+    second = RandomStreams(42).stream("arrivals")
+    assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+
+def test_different_names_give_different_sequences():
+    streams = RandomStreams(42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_sequences():
+    a = RandomStreams(1).stream("x").random()
+    b = RandomStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_spawn_derives_new_independent_factory():
+    parent = RandomStreams(7)
+    child_a = parent.spawn("rep-1")
+    child_b = parent.spawn("rep-2")
+    assert child_a.seed != child_b.seed
+    assert RandomStreams(7).spawn("rep-1").seed == child_a.seed
+
+
+# ------------------------------------------------------------------ OnlineStats
+def test_online_stats_mean_and_variance():
+    samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    stats = OnlineStats()
+    stats.extend(samples)
+    assert stats.count == len(samples)
+    assert stats.mean == pytest.approx(statistics.fmean(samples))
+    assert stats.variance == pytest.approx(statistics.pvariance(samples))
+    assert stats.stdev == pytest.approx(statistics.pstdev(samples))
+    assert stats.minimum == 2.0
+    assert stats.maximum == 9.0
+
+
+def test_online_stats_empty_and_single_sample():
+    stats = OnlineStats()
+    assert stats.variance == 0.0
+    stats.add(3.0)
+    assert stats.mean == 3.0
+    assert stats.variance == 0.0
+
+
+def test_online_stats_merge_matches_combined():
+    left_samples = [1.0, 2.0, 3.0]
+    right_samples = [10.0, 11.0]
+    left = OnlineStats()
+    left.extend(left_samples)
+    right = OnlineStats()
+    right.extend(right_samples)
+    merged = left.merge(right)
+    combined = left_samples + right_samples
+    assert merged.count == len(combined)
+    assert merged.mean == pytest.approx(statistics.fmean(combined))
+    assert merged.variance == pytest.approx(statistics.pvariance(combined))
+    assert merged.minimum == 1.0
+    assert merged.maximum == 11.0
+
+
+def test_online_stats_merge_with_empty():
+    stats = OnlineStats()
+    stats.extend([1.0, 2.0])
+    merged = stats.merge(OnlineStats())
+    assert merged.count == 2
+    assert merged.mean == pytest.approx(1.5)
+    other = OnlineStats().merge(stats)
+    assert other.mean == pytest.approx(1.5)
+
+
+# ------------------------------------------------------------- TimeWeightedStats
+def test_time_weighted_mean_of_step_signal():
+    stats = TimeWeightedStats()
+    stats.update(2.0, 4.0)  # value 0 for 2 seconds
+    stats.update(4.0, 0.0)  # value 4 for 2 seconds
+    assert stats.mean() == pytest.approx(2.0)
+    assert stats.maximum == 4.0
+
+
+def test_time_weighted_mean_extends_to_until():
+    stats = TimeWeightedStats()
+    stats.update(1.0, 10.0)
+    assert stats.mean(until=2.0) == pytest.approx(5.0)
+
+
+def test_time_weighted_rejects_time_going_backwards():
+    stats = TimeWeightedStats()
+    stats.update(2.0, 1.0)
+    with pytest.raises(ValueError):
+        stats.update(1.0, 1.0)
+
+
+# ------------------------------------------------------------------- percentile
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 4.0
+    assert percentile(values, 0.5) == pytest.approx(2.5)
+
+
+def test_percentile_of_empty_list_is_nan():
+    assert math.isnan(percentile([], 0.5))
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_percentile_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
