@@ -1,0 +1,49 @@
+"""Smoke target: one quick figure per system family, through the runner.
+
+These are plain (non-``benchmark``) tests at a deliberately tiny scale, so
+they run inside the tier-1 suite in a couple of seconds.  They exercise the
+full figure → :class:`~repro.bench.runner.ExperimentRunner` → cache path for
+each variant family of the paper — Fabric 1.4 (Figure 6), Fabric++
+(Figure 17), Streamchain (Figure 20) and FabricSharp (Figure 24) — and assert
+that a cached regeneration is served without re-simulating and reproduces the
+rows exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.experiments import (
+    QUICK_SCALE,
+    figure06_latency_throughput,
+    figure17_fabricpp_block_size,
+    figure20_streamchain_load,
+    figure24_fabricsharp_load,
+)
+from repro.bench.runner import ExperimentRunner, ResultCache
+
+#: The quick scale with the duration trimmed so each family smokes in ~a second.
+SMOKE_SCALE = dataclasses.replace(QUICK_SCALE, name="smoke", duration=2.0, block_sizes=(10, 50))
+
+_FAMILIES = [
+    ("fabric-1.4", lambda runner: figure06_latency_throughput(SMOKE_SCALE, runner=runner)),
+    ("fabric++", lambda runner: figure17_fabricpp_block_size(SMOKE_SCALE, block_sizes=(10, 50), runner=runner)),
+    ("streamchain", lambda runner: figure20_streamchain_load(SMOKE_SCALE, rates=(10, 40), runner=runner)),
+    ("fabricsharp", lambda runner: figure24_fabricsharp_load(SMOKE_SCALE, rates=(10, 40), runner=runner)),
+]
+
+
+@pytest.mark.parametrize("family,regenerate", _FAMILIES, ids=[name for name, _ in _FAMILIES])
+def test_family_figure_smokes_under_runner(family, regenerate):
+    runner = ExperimentRunner(workers=1, cache=ResultCache())
+    report = regenerate(runner)
+    assert report.rows, f"{family} figure produced no rows"
+    assert runner.stats.tasks_run > 0
+    assert runner.stats.cache_hits == 0
+
+    cached = regenerate(runner)
+    assert cached.rows == report.rows
+    assert runner.stats.tasks_run == 0
+    assert runner.stats.cache_hits == runner.stats.tasks_total

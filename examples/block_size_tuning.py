@@ -5,7 +5,10 @@ arrival rate (Sections 5.1.1 and 6.1): the best block size grows roughly
 linearly with the arrival rate and picking it can cut failures by up to 60 %.
 This example sweeps block sizes at several arrival rates, prints the best and
 worst setting per rate, and then shows how the adaptive block-size controller
-of Section 6.2 would configure the network online.
+of Section 6.2 would configure the network online.  The sweeps run through a
+shared :class:`~repro.bench.runner.ExperimentRunner`, so the grid cells fan
+out across worker processes (results are bit-identical to serial execution)
+and re-running the example with a warm cache skips finished cells.
 
 Run with::
 
@@ -14,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AdaptiveBlockSizeController, ExperimentConfig, NetworkConfig
+from repro import AdaptiveBlockSizeController, ExperimentConfig, ExperimentRunner, NetworkConfig, ResultCache
 from repro.bench.reporting import format_table, print_report
 from repro.bench.sweeps import find_best_block_size
 
@@ -23,6 +26,7 @@ BLOCK_SIZES = (10, 50, 150)
 
 
 def main() -> None:
+    runner = ExperimentRunner(workers=2, cache=ResultCache())
     rows = []
     calibration = {}
     for rate in ARRIVAL_RATES:
@@ -32,7 +36,7 @@ def main() -> None:
             duration=8.0,
             seed=17,
         )
-        best = find_best_block_size(config, BLOCK_SIZES)
+        best = find_best_block_size(config, BLOCK_SIZES, runner=runner)
         calibration[float(rate)] = best.best_block_size
         rows.append(
             (
@@ -58,6 +62,7 @@ def main() -> None:
             title="Figure 4/5 style block-size sweep (EHR, C2)",
         )
     )
+    print(f"runner: {runner.stats.describe()}")
 
     controller = AdaptiveBlockSizeController(
         min_block_size=min(BLOCK_SIZES), max_block_size=max(BLOCK_SIZES), calibration=calibration

@@ -3,7 +3,9 @@
 This example reproduces the spirit of Figure 26: all four systems run the same
 EHR workload at increasing arrival rates on the C1 cluster, and the table shows
 how each optimization trades latency, MVCC conflicts, endorsement failures and
-committed throughput.
+committed throughput.  The 4x3 grid is described declaratively as a
+:class:`~repro.bench.runner.SweepPlan` and submitted in one batch to a
+parallel :class:`~repro.bench.runner.ExperimentRunner`.
 
 Run with::
 
@@ -12,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, NetworkConfig, run_experiment
+from repro import ExperimentConfig, ExperimentRunner, NetworkConfig, SweepPlan
 from repro.bench.reporting import format_table, print_report
 
 VARIANTS = ("fabric-1.4", "fabric++", "streamchain", "fabricsharp")
@@ -20,29 +22,28 @@ ARRIVAL_RATES = (10, 50, 100)
 
 
 def main() -> None:
+    base = ExperimentConfig(
+        network=NetworkConfig(cluster="C1", block_size=10, database="couchdb"),
+        duration=10.0,
+        seed=23,
+    )
+    plan = SweepPlan(base=base, variants=VARIANTS, arrival_rates=ARRIVAL_RATES)
+    runner = ExperimentRunner(workers=2)
+    outcome = runner.run_sweep(plan)
     rows = []
-    for variant in VARIANTS:
-        for rate in ARRIVAL_RATES:
-            config = ExperimentConfig(
-                variant=variant,
-                network=NetworkConfig(cluster="C1", block_size=10, database="couchdb"),
-                arrival_rate=float(rate),
-                duration=10.0,
-                seed=23,
+    for cell, result in zip(outcome.cells, outcome.results):
+        rows.append(
+            (
+                cell.variant,
+                int(cell.arrival_rate),
+                result.average_latency,
+                result.endorsement_pct,
+                result.mvcc_pct,
+                result.failure_pct,
+                result.committed_throughput,
             )
-            result = run_experiment(config)
-            metrics = result.metrics[0]
-            rows.append(
-                (
-                    variant,
-                    rate,
-                    result.average_latency,
-                    result.endorsement_pct,
-                    result.mvcc_pct,
-                    result.failure_pct,
-                    metrics.committed_throughput,
-                )
-            )
+        )
+    print(f"runner: {outcome.stats.describe()}")
     print_report(
         format_table(
             (

@@ -18,11 +18,16 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, NetworkConfig, RecommendationEngine, run_experiment
+from repro import ExperimentConfig, ExperimentRunner, NetworkConfig, RecommendationEngine, ResultCache
 from repro.bench.reporting import format_table, print_report
 
 ARRIVAL_RATE = 100.0
 DURATION = 10.0
+
+#: One cached runner for the whole study.  Point the cache at a directory
+#: (``ResultCache("ehr-study-cache")``) and re-running the script after editing
+#: a step only simulates the configurations that actually changed.
+RUNNER = ExperimentRunner(workers=2, cache=ResultCache())
 
 
 def run(label, **overrides):
@@ -35,7 +40,7 @@ def run(label, **overrides):
         seed=29,
         **overrides,
     )
-    result = run_experiment(config)
+    result = RUNNER.run(config)
     return (
         label,
         result.failure_pct,

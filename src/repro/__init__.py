@@ -15,7 +15,21 @@ Quickstart::
     print(result.failure_pct, result.mvcc_pct, result.endorsement_pct)
 """
 
-from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    repetition_seed,
+    run_experiment,
+    run_repetition,
+)
+from repro.bench.runner import (
+    ExperimentRunner,
+    ProgressEvent,
+    ResultCache,
+    RunnerStats,
+    SweepOutcome,
+    SweepPlan,
+)
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
 from repro.core.adaptive import AdaptiveBlockSizeController, BlockSizeTuner
 from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
@@ -45,7 +59,15 @@ __all__ = [
     "__version__",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentRunner",
+    "ProgressEvent",
+    "ResultCache",
+    "RunnerStats",
+    "SweepOutcome",
+    "SweepPlan",
+    "repetition_seed",
     "run_experiment",
+    "run_repetition",
     "CHAINCODE_REGISTRY",
     "create_chaincode",
     "AdaptiveBlockSizeController",

@@ -7,6 +7,14 @@ that controls the simulated duration, repetitions and population sizes, so the
 same code can run as a quick laptop benchmark (:data:`QUICK_SCALE`), a more
 faithful sweep (:data:`STANDARD_SCALE`) or the full paper setup
 (:data:`PAPER_SCALE`, 180 simulated seconds and three repetitions).
+
+Every function also takes an optional
+:class:`~repro.bench.runner.ExperimentRunner`; the grid behind the artefact is
+submitted to it as one batch, so a parallel runner spreads the cells across
+worker processes and a caching runner skips cells that already ran — without
+changing a single reported value (results are deterministic per
+configuration/repetition).  When no runner is passed, the shared default
+runner (serial, in-memory cache) is used.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.harness import ExperimentConfig, ExperimentResult
+from repro.bench.runner import ExperimentRunner, get_default_runner
 from repro.bench.sweeps import find_best_block_size
 from repro.chaincode import create_chaincode
 from repro.chaincode.api import ChaincodeStub
@@ -120,6 +129,13 @@ class ExperimentReport:
 
 
 # --------------------------------------------------------------------------- helpers
+def _run_all(
+    runner: Optional[ExperimentRunner], configs: Sequence[ExperimentConfig]
+) -> List[ExperimentResult]:
+    """Run a figure's whole grid as one batch through the (default) runner."""
+    return (runner or get_default_runner()).run_many(configs)
+
+
 def scaled_workload(chaincode: str, scale: Scale) -> WorkloadSpec:
     """The default uniform workload of a chaincode, scaled for quick runs."""
     if chaincode == "EHR":
@@ -212,7 +228,9 @@ def table02_chaincode_profiles(scale: Scale = QUICK_SCALE) -> ExperimentReport:
     return report
 
 
-def table04_database_types(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def table04_database_types(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Table 4: CouchDB vs LevelDB across the genChain workloads.
 
     Reports the average transaction latency, the transaction failure percentage
@@ -232,26 +250,31 @@ def table04_database_types(scale: Scale = QUICK_SCALE) -> ExperimentReport:
             "DeleteState_ms",
         ),
     )
-    for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
-        for database in ("couchdb", "leveldb"):
-            config = base_config(
-                scale,
-                workload=scaled_synthetic(abbreviation, scale),
-                database=database,
+    cells = [
+        (abbreviation, database)
+        for abbreviation in ("RH", "IH", "UH", "RaH", "DH")
+        for database in ("couchdb", "leveldb")
+    ]
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, workload=scaled_synthetic(abbreviation, scale), database=database)
+            for abbreviation, database in cells
+        ],
+    )
+    for (abbreviation, database), result in zip(cells, results):
+        report.rows.append(
+            (
+                abbreviation,
+                database,
+                result.average_latency,
+                result.failure_pct,
+                result.mean_function_latency_ms("GetState"),
+                result.mean_function_latency_ms("PutState"),
+                result.mean_function_latency_ms("GetRange"),
+                result.mean_function_latency_ms("DeleteState"),
             )
-            result = run_experiment(config)
-            report.rows.append(
-                (
-                    abbreviation,
-                    database,
-                    result.average_latency,
-                    result.failure_pct,
-                    result.mean_function_latency_ms("GetState"),
-                    result.mean_function_latency_ms("PutState"),
-                    result.mean_function_latency_ms("GetRange"),
-                    result.mean_function_latency_ms("DeleteState"),
-                )
-            )
+        )
     return report
 
 
@@ -262,6 +285,7 @@ def figure04_best_block_size(
     scale: Scale = QUICK_SCALE,
     chaincodes: Sequence[str] = ("EHR", "DV", "DRM"),
     clusters: Sequence[str] = ("C1", "C2"),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 4: best block size at different transaction arrival rates."""
     report = ExperimentReport(
@@ -275,7 +299,7 @@ def figure04_best_block_size(
                 config = base_config(
                     scale, cluster=cluster, workload=scaled_workload(chaincode, scale), arrival_rate=rate
                 )
-                best = find_best_block_size(config, scale.block_sizes)
+                best = find_best_block_size(config, scale.block_sizes, runner=runner)
                 report.rows.append(
                     (chaincode, cluster, rate, best.best_block_size, best.worst_block_size)
                 )
@@ -286,6 +310,7 @@ def figure05_minmax_failures(
     scale: Scale = QUICK_SCALE,
     chaincodes: Sequence[str] = ("EHR", "DV", "DRM"),
     cluster: str = "C2",
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 5: least and most transaction failures over the block-size sweep."""
     report = ExperimentReport(
@@ -298,7 +323,7 @@ def figure05_minmax_failures(
             config = base_config(
                 scale, cluster=cluster, workload=scaled_workload(chaincode, scale), arrival_rate=rate
             )
-            best = find_best_block_size(config, scale.block_sizes)
+            best = find_best_block_size(config, scale.block_sizes, runner=runner)
             report.rows.append(
                 (
                     chaincode,
@@ -311,16 +336,25 @@ def figure05_minmax_failures(
     return report
 
 
-def figure06_latency_throughput(scale: Scale = QUICK_SCALE, arrival_rate: float = 100.0) -> ExperimentReport:
+def figure06_latency_throughput(
+    scale: Scale = QUICK_SCALE,
+    arrival_rate: float = 100.0,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentReport:
     """Figure 6: latency and committed throughput at different block sizes (EHR, C2)."""
     report = ExperimentReport(
         experiment_id="fig6",
         title="Figure 6: latency and committed throughput vs block size (EHR, 100 tps, C2)",
         headers=("block_size", "latency_s", "committed_throughput_tps", "failures_pct"),
     )
-    for block_size in scale.block_sizes:
-        config = base_config(scale, arrival_rate=arrival_rate, block_size=block_size)
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, arrival_rate=arrival_rate, block_size=block_size)
+            for block_size in scale.block_sizes
+        ],
+    )
+    for block_size, result in zip(scale.block_sizes, results):
         report.rows.append(
             (
                 block_size,
@@ -332,81 +366,111 @@ def figure06_latency_throughput(scale: Scale = QUICK_SCALE, arrival_rate: float 
     return report
 
 
-def figure07_mvcc_by_block_size(scale: Scale = QUICK_SCALE, arrival_rate: float = 100.0) -> ExperimentReport:
+def figure07_mvcc_by_block_size(
+    scale: Scale = QUICK_SCALE,
+    arrival_rate: float = 100.0,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentReport:
     """Figure 7: inter- vs intra-block MVCC read conflicts vs block size (EHR, C2)."""
     report = ExperimentReport(
         experiment_id="fig7",
         title="Figure 7: effect of block size on inter-/intra-block MVCC read conflicts",
         headers=("block_size", "inter_block_pct", "intra_block_pct", "total_mvcc_pct"),
     )
-    for block_size in scale.block_sizes:
-        config = base_config(scale, arrival_rate=arrival_rate, block_size=block_size)
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, arrival_rate=arrival_rate, block_size=block_size)
+            for block_size in scale.block_sizes
+        ],
+    )
+    for block_size, result in zip(scale.block_sizes, results):
         report.rows.append(
             (block_size, result.inter_block_mvcc_pct, result.intra_block_mvcc_pct, result.mvcc_pct)
         )
     return report
 
 
-def figure08_mvcc_by_arrival_rate(scale: Scale = QUICK_SCALE, block_size: int = 100) -> ExperimentReport:
+def figure08_mvcc_by_arrival_rate(
+    scale: Scale = QUICK_SCALE,
+    block_size: int = 100,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentReport:
     """Figure 8: inter- vs intra-block MVCC read conflicts vs arrival rate (EHR, C2)."""
     report = ExperimentReport(
         experiment_id="fig8",
         title="Figure 8: effect of the arrival rate on inter-/intra-block MVCC read conflicts",
         headers=("arrival_rate", "inter_block_pct", "intra_block_pct", "total_mvcc_pct"),
     )
-    for rate in scale.rates:
-        config = base_config(scale, arrival_rate=rate, block_size=block_size)
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [base_config(scale, arrival_rate=rate, block_size=block_size) for rate in scale.rates],
+    )
+    for rate, result in zip(scale.rates, results):
         report.rows.append(
             (rate, result.inter_block_mvcc_pct, result.intra_block_mvcc_pct, result.mvcc_pct)
         )
     return report
 
 
-def figure09_endorsement_by_block_size(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def figure09_endorsement_by_block_size(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Figure 9: endorsement policy failures vs block size (EHR, C2)."""
     report = ExperimentReport(
         experiment_id="fig9",
         title="Figure 9: endorsement policy failures vs block size (EHR)",
         headers=("block_size", "endorsement_failures_pct"),
     )
-    for block_size in scale.block_sizes:
-        config = base_config(scale, block_size=block_size)
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [base_config(scale, block_size=block_size) for block_size in scale.block_sizes],
+    )
+    for block_size, result in zip(scale.block_sizes, results):
         report.rows.append((block_size, result.endorsement_pct))
     return report
 
 
-def figure10_phantom_by_block_size(scale: Scale = QUICK_SCALE, arrival_rate: float = 50.0) -> ExperimentReport:
+def figure10_phantom_by_block_size(
+    scale: Scale = QUICK_SCALE,
+    arrival_rate: float = 50.0,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentReport:
     """Figure 10: phantom read conflicts vs block size (SCM, C2)."""
     report = ExperimentReport(
         experiment_id="fig10",
         title="Figure 10: phantom read conflicts vs block size (SCM)",
         headers=("block_size", "phantom_read_pct", "failures_pct"),
     )
-    for block_size in scale.block_sizes:
-        config = base_config(
-            scale,
-            workload=scaled_workload("SCM", scale),
-            arrival_rate=arrival_rate,
-            block_size=block_size,
-        )
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [
+            base_config(
+                scale,
+                workload=scaled_workload("SCM", scale),
+                arrival_rate=arrival_rate,
+                block_size=block_size,
+            )
+            for block_size in scale.block_sizes
+        ],
+    )
+    for block_size, result in zip(scale.block_sizes, results):
         report.rows.append((block_size, result.phantom_pct, result.failure_pct))
     return report
 
 
-def figure11_database_effect(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def figure11_database_effect(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Figure 11: CouchDB vs LevelDB — latency, endorsement failures, MVCC conflicts (EHR)."""
     report = ExperimentReport(
         experiment_id="fig11",
         title="Figure 11: effect of the database type (EHR, uniform workload)",
         headers=("database", "latency_s", "endorsement_pct", "inter_block_pct", "intra_block_pct"),
     )
-    for database in ("couchdb", "leveldb"):
-        config = base_config(scale, database=database)
-        result = run_experiment(config)
+    databases = ("couchdb", "leveldb")
+    results = _run_all(runner, [base_config(scale, database=database) for database in databases])
+    for database, result in zip(databases, results):
         report.rows.append(
             (
                 database,
@@ -420,7 +484,9 @@ def figure11_database_effect(scale: Scale = QUICK_SCALE) -> ExperimentReport:
 
 
 def figure12_organizations(
-    scale: Scale = QUICK_SCALE, organization_counts: Sequence[int] = (2, 4, 6, 8, 10)
+    scale: Scale = QUICK_SCALE,
+    organization_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 12: effect of the number of organizations (C2, 4 peers per org)."""
     report = ExperimentReport(
@@ -428,61 +494,89 @@ def figure12_organizations(
         title="Figure 12: effect of the number of organizations",
         headers=("organizations", "latency_s", "endorsement_pct"),
     )
-    for organizations in organization_counts:
-        config = base_config(scale, orgs=organizations, peers_per_org=4)
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, orgs=organizations, peers_per_org=4)
+            for organizations in organization_counts
+        ],
+    )
+    for organizations, result in zip(organization_counts, results):
         report.rows.append((organizations, result.average_latency, result.endorsement_pct))
     return report
 
 
-def figure13_endorsement_policies(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def figure13_endorsement_policies(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Figure 13: effect of the endorsement policies P0-P3 (Table 5)."""
     report = ExperimentReport(
         experiment_id="fig13",
         title="Figure 13: effect of the endorsement policy",
         headers=("policy", "latency_s", "endorsement_pct"),
     )
-    for policy in ("P0", "P1", "P2", "P3"):
-        config = base_config(scale, endorsement_policy=policy)
-        result = run_experiment(config)
+    policies = ("P0", "P1", "P2", "P3")
+    results = _run_all(
+        runner, [base_config(scale, endorsement_policy=policy) for policy in policies]
+    )
+    for policy, result in zip(policies, results):
         report.rows.append((policy, result.average_latency, result.endorsement_pct))
     return report
 
 
-def figure14_workload_mix(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def figure14_workload_mix(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Figure 14: effect of the workload mix (genChain, C2)."""
     report = ExperimentReport(
         experiment_id="fig14",
         title="Figure 14: transaction failures per workload mix (genChain)",
         headers=("workload", "failures_pct"),
     )
-    for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
-        config = base_config(scale, workload=scaled_synthetic(abbreviation, scale))
-        result = run_experiment(config)
+    abbreviations = ("RH", "IH", "UH", "RaH", "DH")
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, workload=scaled_synthetic(abbreviation, scale))
+            for abbreviation in abbreviations
+        ],
+    )
+    for abbreviation, result in zip(abbreviations, results):
         report.rows.append((abbreviation, result.failure_pct))
     return report
 
 
-def figure15_zipf_skew(scale: Scale = QUICK_SCALE, skews: Sequence[float] = (0.0, 1.0, 2.0)) -> ExperimentReport:
+def figure15_zipf_skew(
+    scale: Scale = QUICK_SCALE,
+    skews: Sequence[float] = (0.0, 1.0, 2.0),
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentReport:
     """Figure 15: effect of the Zipfian key skew (genChain read/update workload)."""
     report = ExperimentReport(
         experiment_id="fig15",
         title="Figure 15: transaction failures vs Zipfian skew",
         headers=("zipf_skew", "failures_pct"),
     )
-    for skew in skews:
-        config = base_config(
-            scale,
-            workload=read_update_uniform(num_keys=scale.genchain_keys),
-            zipf_skew=skew,
-        )
-        result = run_experiment(config)
+    results = _run_all(
+        runner,
+        [
+            base_config(
+                scale,
+                workload=read_update_uniform(num_keys=scale.genchain_keys),
+                zipf_skew=skew,
+            )
+            for skew in skews
+        ],
+    )
+    for skew, result in zip(skews, results):
         report.rows.append((skew, result.failure_pct))
     return report
 
 
 def figure16_network_delay(
-    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100)
+    scale: Scale = QUICK_SCALE,
+    rates: Sequence[int] = (10, 50, 100),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 16: Fabric 1.4 with and without an induced 100 ms network delay."""
     report = ExperimentReport(
@@ -490,15 +584,18 @@ def figure16_network_delay(
         title="Figure 16: effect of an induced network delay on one organization",
         headers=("arrival_rate", "delayed", "latency_s", "endorsement_pct", "mvcc_pct"),
     )
-    for rate in rates:
-        for delayed in (False, True):
-            config = base_config(
-                scale, arrival_rate=rate, delayed_orgs=(0,) if delayed else ()
-            )
-            result = run_experiment(config)
-            report.rows.append(
-                (rate, delayed, result.average_latency, result.endorsement_pct, result.mvcc_pct)
-            )
+    cells = [(rate, delayed) for rate in rates for delayed in (False, True)]
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, arrival_rate=rate, delayed_orgs=(0,) if delayed else ())
+            for rate, delayed in cells
+        ],
+    )
+    for (rate, delayed), result in zip(cells, results):
+        report.rows.append(
+            (rate, delayed, result.average_latency, result.endorsement_pct, result.mvcc_pct)
+        )
     return report
 
 
@@ -506,7 +603,9 @@ def figure16_network_delay(
 # Fabric++ (Figures 17-19)
 # =============================================================================
 def figure17_fabricpp_block_size(
-    scale: Scale = QUICK_SCALE, block_sizes: Sequence[int] = (10, 50, 100)
+    scale: Scale = QUICK_SCALE,
+    block_sizes: Sequence[int] = (10, 50, 100),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 17: Fabric++ vs Fabric 1.4 at different block sizes."""
     report = ExperimentReport(
@@ -514,16 +613,24 @@ def figure17_fabricpp_block_size(
         title="Figure 17: Fabric++ vs Fabric 1.4 over the block size",
         headers=("variant", "block_size", "failures_pct", "endorsement_pct"),
     )
-    for variant in ("fabric-1.4", "fabric++"):
-        for block_size in block_sizes:
-            config = base_config(scale, variant=variant, block_size=block_size)
-            result = run_experiment(config)
-            report.rows.append((variant, block_size, result.failure_pct, result.endorsement_pct))
+    cells = [
+        (variant, block_size)
+        for variant in ("fabric-1.4", "fabric++")
+        for block_size in block_sizes
+    ]
+    results = _run_all(
+        runner,
+        [base_config(scale, variant=variant, block_size=block_size) for variant, block_size in cells],
+    )
+    for (variant, block_size), result in zip(cells, results):
+        report.rows.append((variant, block_size, result.failure_pct, result.endorsement_pct))
     return report
 
 
 def figure18_fabricpp_chaincodes(
-    scale: Scale = QUICK_SCALE, chaincodes: Sequence[str] = ("EHR", "DV", "SCM", "DRM")
+    scale: Scale = QUICK_SCALE,
+    chaincodes: Sequence[str] = ("EHR", "DV", "SCM", "DRM"),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 18: Fabric++ vs Fabric 1.4 across the use-case chaincodes."""
     report = ExperimentReport(
@@ -531,16 +638,27 @@ def figure18_fabricpp_chaincodes(
         title="Figure 18: Fabric++ vs Fabric 1.4 across chaincodes",
         headers=("variant", "chaincode", "latency_s", "failures_pct"),
     )
-    for variant in ("fabric-1.4", "fabric++"):
-        for chaincode in chaincodes:
-            config = base_config(scale, variant=variant, workload=scaled_workload(chaincode, scale))
-            result = run_experiment(config)
-            report.rows.append((variant, chaincode, result.average_latency, result.failure_pct))
+    cells = [
+        (variant, chaincode)
+        for variant in ("fabric-1.4", "fabric++")
+        for chaincode in chaincodes
+    ]
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, variant=variant, workload=scaled_workload(chaincode, scale))
+            for variant, chaincode in cells
+        ],
+    )
+    for (variant, chaincode), result in zip(cells, results):
+        report.rows.append((variant, chaincode, result.average_latency, result.failure_pct))
     return report
 
 
 def figure19_fabricpp_workloads(
-    scale: Scale = QUICK_SCALE, skews: Sequence[float] = (0.0, 1.0, 2.0)
+    scale: Scale = QUICK_SCALE,
+    skews: Sequence[float] = (0.0, 1.0, 2.0),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 19: Fabric++ vs Fabric 1.4 across workloads and key skew."""
     report = ExperimentReport(
@@ -548,20 +666,26 @@ def figure19_fabricpp_workloads(
         title="Figure 19: Fabric++ vs Fabric 1.4 across workloads and Zipfian skew",
         headers=("variant", "series", "point", "failures_pct"),
     )
+    cells = []
+    configs = []
     for variant in ("fabric-1.4", "fabric++"):
         for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
-            config = base_config(scale, variant=variant, workload=scaled_synthetic(abbreviation, scale))
-            result = run_experiment(config)
-            report.rows.append((variant, "workload", abbreviation, result.failure_pct))
-        for skew in skews:
-            config = base_config(
-                scale,
-                variant=variant,
-                workload=read_update_uniform(num_keys=scale.genchain_keys),
-                zipf_skew=skew,
+            cells.append((variant, "workload", abbreviation))
+            configs.append(
+                base_config(scale, variant=variant, workload=scaled_synthetic(abbreviation, scale))
             )
-            result = run_experiment(config)
-            report.rows.append((variant, "skew", str(skew), result.failure_pct))
+        for skew in skews:
+            cells.append((variant, "skew", str(skew)))
+            configs.append(
+                base_config(
+                    scale,
+                    variant=variant,
+                    workload=read_update_uniform(num_keys=scale.genchain_keys),
+                    zipf_skew=skew,
+                )
+            )
+    for (variant, series, point), result in zip(cells, _run_all(runner, configs)):
+        report.rows.append((variant, series, point, result.failure_pct))
     return report
 
 
@@ -569,7 +693,10 @@ def figure19_fabricpp_workloads(
 # Streamchain (Figures 20-23)
 # =============================================================================
 def figure20_streamchain_load(
-    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100), cluster: str = "C1"
+    scale: Scale = QUICK_SCALE,
+    rates: Sequence[int] = (10, 50, 100),
+    cluster: str = "C1",
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 20: Streamchain vs Fabric 1.4 at low arrival rates (block size 10)."""
     report = ExperimentReport(
@@ -577,19 +704,24 @@ def figure20_streamchain_load(
         title="Figure 20: Streamchain vs Fabric 1.4 (latency, endorsement, MVCC)",
         headers=("variant", "arrival_rate", "latency_s", "endorsement_pct", "mvcc_pct"),
     )
-    for variant in ("fabric-1.4", "streamchain"):
-        for rate in rates:
-            config = base_config(
-                scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=10
-            )
-            result = run_experiment(config)
-            report.rows.append(
-                (variant, rate, result.average_latency, result.endorsement_pct, result.mvcc_pct)
-            )
+    cells = [(variant, rate) for variant in ("fabric-1.4", "streamchain") for rate in rates]
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=10)
+            for variant, rate in cells
+        ],
+    )
+    for (variant, rate), result in zip(cells, results):
+        report.rows.append(
+            (variant, rate, result.average_latency, result.endorsement_pct, result.mvcc_pct)
+        )
     return report
 
 
-def figure21_streamchain_throughput(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def figure21_streamchain_throughput(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Figure 21: committed transaction throughput at high arrival rates.
 
     C1 at 150 and 200 tps, C2 at 100 tps; Fabric 1.4 uses a block size of 50
@@ -602,20 +734,29 @@ def figure21_streamchain_throughput(scale: Scale = QUICK_SCALE) -> ExperimentRep
         title="Figure 21: committed transaction throughput at high arrival rates",
         headers=("cluster", "arrival_rate", "variant", "committed_throughput_tps"),
     )
-    cells = [("C1", 150), ("C1", 200), ("C2", 100)]
-    for cluster, rate in cells:
-        for variant in ("fabric-1.4", "streamchain"):
-            config = base_config(
-                scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=50
-            )
-            result = run_experiment(config)
-            throughput = _mean(metric.committed_throughput for metric in result.metrics)
-            report.rows.append((cluster, rate, variant, throughput))
+    cells = [
+        (cluster, rate, variant)
+        for cluster, rate in [("C1", 150), ("C1", 200), ("C2", 100)]
+        for variant in ("fabric-1.4", "streamchain")
+    ]
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=50)
+            for cluster, rate, variant in cells
+        ],
+    )
+    for (cluster, rate, variant), result in zip(cells, results):
+        throughput = _mean(metric.committed_throughput for metric in result.metrics)
+        report.rows.append((cluster, rate, variant, throughput))
     return report
 
 
 def figure22_streamchain_workloads(
-    scale: Scale = QUICK_SCALE, arrival_rate: float = 50.0, skews: Sequence[float] = (0.0, 1.0, 2.0)
+    scale: Scale = QUICK_SCALE,
+    arrival_rate: float = 50.0,
+    skews: Sequence[float] = (0.0, 1.0, 2.0),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 22: Streamchain vs Fabric 1.4 across workloads and key skew (C2, 50 tps)."""
     report = ExperimentReport(
@@ -623,31 +764,40 @@ def figure22_streamchain_workloads(
         title="Figure 22: Streamchain vs Fabric 1.4 across workloads and Zipfian skew",
         headers=("variant", "series", "point", "failures_pct"),
     )
+    cells = []
+    configs = []
     for variant in ("fabric-1.4", "streamchain"):
         for abbreviation in ("RH", "IH", "UH", "RaH", "DH"):
-            config = base_config(
-                scale,
-                variant=variant,
-                workload=scaled_synthetic(abbreviation, scale),
-                arrival_rate=arrival_rate,
+            cells.append((variant, "workload", abbreviation))
+            configs.append(
+                base_config(
+                    scale,
+                    variant=variant,
+                    workload=scaled_synthetic(abbreviation, scale),
+                    arrival_rate=arrival_rate,
+                )
             )
-            result = run_experiment(config)
-            report.rows.append((variant, "workload", abbreviation, result.failure_pct))
         for skew in skews:
-            config = base_config(
-                scale,
-                variant=variant,
-                workload=read_update_uniform(num_keys=scale.genchain_keys),
-                arrival_rate=arrival_rate,
-                zipf_skew=skew,
+            cells.append((variant, "skew", str(skew)))
+            configs.append(
+                base_config(
+                    scale,
+                    variant=variant,
+                    workload=read_update_uniform(num_keys=scale.genchain_keys),
+                    arrival_rate=arrival_rate,
+                    zipf_skew=skew,
+                )
             )
-            result = run_experiment(config)
-            report.rows.append((variant, "skew", str(skew), result.failure_pct))
+    for (variant, series, point), result in zip(cells, _run_all(runner, configs)):
+        report.rows.append((variant, series, point, result.failure_pct))
     return report
 
 
 def figure23_streamchain_ramdisk(
-    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50), cluster: str = "C1"
+    scale: Scale = QUICK_SCALE,
+    rates: Sequence[int] = (10, 50),
+    cluster: str = "C1",
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 23: Streamchain with and without RAM-disk storage."""
     report = ExperimentReport(
@@ -660,9 +810,11 @@ def figure23_streamchain_ramdisk(
         ("Streamchain", "streamchain", True),
         ("Streamchain w/o ramdisk", "streamchain", False),
     ]
-    for label, variant, ram_disk in systems:
-        for rate in rates:
-            config = base_config(
+    cells = [(label, variant, ram_disk, rate) for label, variant, ram_disk in systems for rate in rates]
+    results = _run_all(
+        runner,
+        [
+            base_config(
                 scale,
                 cluster=cluster,
                 variant=variant,
@@ -670,10 +822,13 @@ def figure23_streamchain_ramdisk(
                 block_size=10,
                 use_ram_disk=ram_disk,
             )
-            result = run_experiment(config)
-            report.rows.append(
-                (label, rate, result.average_latency, result.endorsement_pct, result.mvcc_pct)
-            )
+            for _, variant, ram_disk, rate in cells
+        ],
+    )
+    for (label, _, _, rate), result in zip(cells, results):
+        report.rows.append(
+            (label, rate, result.average_latency, result.endorsement_pct, result.mvcc_pct)
+        )
     return report
 
 
@@ -681,7 +836,9 @@ def figure23_streamchain_ramdisk(
 # FabricSharp (Figures 24-25)
 # =============================================================================
 def figure24_fabricsharp_load(
-    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100)
+    scale: Scale = QUICK_SCALE,
+    rates: Sequence[int] = (10, 50, 100),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 24: FabricSharp vs Fabric 1.4 — failures, endorsement failures, throughput."""
     report = ExperimentReport(
@@ -696,26 +853,30 @@ def figure24_fabricsharp_load(
             "committed_throughput_tps",
         ),
     )
-    for variant in ("fabric-1.4", "fabricsharp"):
-        for rate in rates:
-            config = base_config(scale, variant=variant, arrival_rate=rate)
-            result = run_experiment(config)
-            throughput = _mean(metric.committed_throughput for metric in result.metrics)
-            report.rows.append(
-                (
-                    variant,
-                    rate,
-                    result.failure_pct,
-                    result.endorsement_pct,
-                    result.mvcc_pct,
-                    throughput,
-                )
+    cells = [(variant, rate) for variant in ("fabric-1.4", "fabricsharp") for rate in rates]
+    results = _run_all(
+        runner,
+        [base_config(scale, variant=variant, arrival_rate=rate) for variant, rate in cells],
+    )
+    for (variant, rate), result in zip(cells, results):
+        throughput = _mean(metric.committed_throughput for metric in result.metrics)
+        report.rows.append(
+            (
+                variant,
+                rate,
+                result.failure_pct,
+                result.endorsement_pct,
+                result.mvcc_pct,
+                throughput,
             )
+        )
     return report
 
 
 def figure25_fabricsharp_workloads(
-    scale: Scale = QUICK_SCALE, skews: Sequence[float] = (0.0, 1.0, 2.0)
+    scale: Scale = QUICK_SCALE,
+    skews: Sequence[float] = (0.0, 1.0, 2.0),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 25: FabricSharp vs Fabric 1.4 across workloads and key skew.
 
@@ -728,25 +889,31 @@ def figure25_fabricsharp_workloads(
         title="Figure 25: FabricSharp vs Fabric 1.4 across workloads and Zipfian skew",
         headers=("variant", "series", "point", "failures_pct"),
     )
+    cells = []
+    configs = []
     for variant in ("fabric-1.4", "fabricsharp"):
         include_range = variant != "fabricsharp"
         for abbreviation in ("RH", "IH", "UH", "DH"):
-            config = base_config(
-                scale,
-                variant=variant,
-                workload=scaled_synthetic(abbreviation, scale, include_range=include_range),
+            cells.append((variant, "workload", abbreviation))
+            configs.append(
+                base_config(
+                    scale,
+                    variant=variant,
+                    workload=scaled_synthetic(abbreviation, scale, include_range=include_range),
+                )
             )
-            result = run_experiment(config)
-            report.rows.append((variant, "workload", abbreviation, result.failure_pct))
         for skew in skews:
-            config = base_config(
-                scale,
-                variant=variant,
-                workload=read_update_uniform(num_keys=scale.genchain_keys),
-                zipf_skew=skew,
+            cells.append((variant, "skew", str(skew)))
+            configs.append(
+                base_config(
+                    scale,
+                    variant=variant,
+                    workload=read_update_uniform(num_keys=scale.genchain_keys),
+                    zipf_skew=skew,
+                )
             )
-            result = run_experiment(config)
-            report.rows.append((variant, "skew", str(skew), result.failure_pct))
+    for (variant, series, point), result in zip(cells, _run_all(runner, configs)):
+        report.rows.append((variant, series, point, result.failure_pct))
     return report
 
 
@@ -754,7 +921,10 @@ def figure25_fabricsharp_workloads(
 # System comparison (Figure 26) and ablations
 # =============================================================================
 def figure26_system_comparison(
-    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (10, 50, 100), cluster: str = "C1"
+    scale: Scale = QUICK_SCALE,
+    rates: Sequence[int] = (10, 50, 100),
+    cluster: str = "C1",
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Figure 26: all four Fabric systems compared on the C1 cluster (EHR)."""
     report = ExperimentReport(
@@ -762,27 +932,36 @@ def figure26_system_comparison(
         title="Figure 26: comparison of Fabric 1.4, Fabric++, Streamchain and FabricSharp",
         headers=("variant", "arrival_rate", "latency_s", "endorsement_pct", "mvcc_pct", "failures_pct"),
     )
-    for variant in ("fabric-1.4", "fabric++", "streamchain", "fabricsharp"):
-        for rate in rates:
-            config = base_config(
-                scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=10
+    cells = [
+        (variant, rate)
+        for variant in ("fabric-1.4", "fabric++", "streamchain", "fabricsharp")
+        for rate in rates
+    ]
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, cluster=cluster, variant=variant, arrival_rate=rate, block_size=10)
+            for variant, rate in cells
+        ],
+    )
+    for (variant, rate), result in zip(cells, results):
+        report.rows.append(
+            (
+                variant,
+                rate,
+                result.average_latency,
+                result.endorsement_pct,
+                result.mvcc_pct,
+                result.failure_pct,
             )
-            result = run_experiment(config)
-            report.rows.append(
-                (
-                    variant,
-                    rate,
-                    result.average_latency,
-                    result.endorsement_pct,
-                    result.mvcc_pct,
-                    result.failure_pct,
-                )
-            )
+        )
     return report
 
 
 def ablation_adaptive_block_size(
-    scale: Scale = QUICK_SCALE, rates: Sequence[int] = (25, 100, 200)
+    scale: Scale = QUICK_SCALE,
+    rates: Sequence[int] = (25, 100, 200),
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentReport:
     """Ablation (Section 6.2): static block sizes vs the adaptive controller.
 
@@ -798,45 +977,56 @@ def ablation_adaptive_block_size(
     controller = AdaptiveBlockSizeController(
         min_block_size=min(scale.block_sizes), max_block_size=max(scale.block_sizes)
     )
+    cells = []
     for rate in rates:
         adaptive_size = controller.suggest(rate)
-        policies = [
+        for label, block_size in [
             ("static-small", min(scale.block_sizes)),
             ("static-large", max(scale.block_sizes)),
             ("adaptive", adaptive_size),
-        ]
-        for label, block_size in policies:
-            config = base_config(scale, arrival_rate=rate, block_size=block_size)
-            result = run_experiment(config)
-            report.rows.append((rate, label, block_size, result.failure_pct))
+        ]:
+            cells.append((rate, label, block_size))
+    results = _run_all(
+        runner,
+        [
+            base_config(scale, arrival_rate=rate, block_size=block_size)
+            for rate, _, block_size in cells
+        ],
+    )
+    for (rate, label, block_size), result in zip(cells, results):
+        report.rows.append((rate, label, block_size, result.failure_pct))
     return report
 
 
-def ablation_readonly_filtering(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def ablation_readonly_filtering(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Ablation (Section 6.1, client design): skip ordering for read-only transactions."""
     report = ExperimentReport(
         experiment_id="ablation-readonly",
         title="Ablation: submitting vs skipping read-only transactions",
         headers=("submit_read_only", "failures_pct", "latency_s", "committed_throughput_tps"),
     )
-    for submit in (True, False):
-        config = base_config(scale, submit_read_only=submit)
-        result = run_experiment(config)
+    submits = (True, False)
+    results = _run_all(runner, [base_config(scale, submit_read_only=submit) for submit in submits])
+    for submit, result in zip(submits, results):
         throughput = _mean(metric.committed_throughput for metric in result.metrics)
         report.rows.append((submit, result.failure_pct, result.average_latency, throughput))
     return report
 
 
-def ablation_client_side_check(scale: Scale = QUICK_SCALE) -> ExperimentReport:
+def ablation_client_side_check(
+    scale: Scale = QUICK_SCALE, runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
     """Ablation (Section 2, step 3): client-side endorsement consistency check."""
     report = ExperimentReport(
         experiment_id="ablation-client-check",
         title="Ablation: optional client-side check of endorsement consistency",
         headers=("client_side_check", "failures_pct", "endorsement_pct", "latency_s"),
     )
-    for check in (False, True):
-        config = base_config(scale, client_side_check=check)
-        result = run_experiment(config)
+    checks = (False, True)
+    results = _run_all(runner, [base_config(scale, client_side_check=check) for check in checks])
+    for check, result in zip(checks, results):
         report.rows.append(
             (check, result.failure_pct, result.endorsement_pct, result.average_latency)
         )

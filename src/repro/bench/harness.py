@@ -6,12 +6,28 @@ configuration, the arrival rate, the Zipfian skew — together with the simulate
 duration, the number of repetitions and the seed.  ``run_experiment`` executes
 the repetitions and returns an :class:`ExperimentResult` whose properties
 average the metrics the same way the paper averages its three repetitions.
+
+Seeding: repetition ``k`` of a configuration draws from a RNG stream family
+seeded with ``repetition_seed(config, k)`` — a hash of the configuration's
+content hash and the repetition index.  Two different configurations therefore
+never share a stream (a plain ``config.seed + k`` scheme collides for adjacent
+seeds), and a repetition's result depends only on ``(config, k)``, not on the
+order or process in which it runs.  That is the invariant that lets
+:mod:`repro.bench.runner` fan repetitions out across worker processes and still
+produce results bit-identical to serial execution.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional
+
+from repro.sim.rng import derive_seed
 
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
 from repro.chaincode.base import Chaincode
@@ -71,6 +87,89 @@ class ExperimentConfig:
         if self.chaincode_factory is not None:
             return self.chaincode_factory()
         return create_chaincode(self.workload.chaincode, **self.workload.chaincode_kwargs)
+
+    def cell_hash(self) -> str:
+        """Stable content hash of this configuration, excluding ``repetitions``.
+
+        Two configurations hash equally exactly when they describe the same
+        experiment *cell* — same variant, workload, network, load and seed.
+        The repetition count is excluded so that raising ``repetitions`` keeps
+        the identity (and cached results) of the repetitions already run.  The
+        hash keys the runner's result cache and seeds the per-repetition RNG
+        streams (see :func:`repetition_seed`).
+        """
+        payload = {
+            name: _canonical(getattr(self, name))
+            for name in sorted(field.name for field in dataclasses.fields(self))
+            if name != "repetitions"
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-serializable data with a stable ordering."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items(), key=lambda pair: str(pair[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if callable(value):
+        return _canonical_callable(value)
+    return value
+
+
+def _canonical_callable(value):
+    """Canonicalize a callable (``chaincode_factory``) for hashing.
+
+    A module-level function reduces to its import path, which is stable across
+    processes — the form to prefer for factories that should hit the disk
+    cache across runs.  Lambdas and closures additionally hash their bytecode,
+    constants, defaults and captured cell values, so two closures created by
+    the same code over different data do not collide.  Callables without
+    code objects (e.g. callable instances) fall back to ``repr`` and may hash
+    differently in every process, which disables cross-run caching for them
+    but never causes a false cache hit within a run.
+    """
+    if isinstance(value, functools.partial):
+        return [
+            "partial",
+            _canonical_callable(value.func),
+            [_canonical(argument) for argument in value.args],
+            {key: _canonical(item) for key, item in sorted(value.keywords.items())},
+        ]
+    qualname = getattr(value, "__qualname__", None)
+    if qualname is None:
+        return repr(value)
+    parts = [getattr(value, "__module__", "?"), qualname]
+    code = getattr(value, "__code__", None)
+    if code is not None:
+        parts.append(hashlib.sha256(code.co_code).hexdigest())
+        parts.append(repr(code.co_consts))
+        defaults = getattr(value, "__defaults__", None)
+        if defaults:
+            parts.append([repr(item) for item in defaults])
+        closure = getattr(value, "__closure__", None)
+        if closure:
+            parts.append([repr(cell.cell_contents) for cell in closure])
+    return parts
+
+
+def repetition_seed(config: ExperimentConfig, repetition: int, cell_hash: Optional[str] = None) -> int:
+    """The RNG seed of repetition ``repetition`` of ``config``.
+
+    Derived by hashing ``(cell_hash, repetition)`` so the seed is the same
+    whether the repetition runs serially, in a worker process, or out of
+    order — and never collides with any repetition of a different
+    configuration.  ``cell_hash`` may be passed in to avoid recomputing it.
+    """
+    return derive_seed("repetition", cell_hash or config.cell_hash(), repetition)
 
 
 @dataclass
@@ -153,26 +252,40 @@ class ExperimentResult:
         return sum(values) / len(values)
 
 
+def run_repetition(
+    config: ExperimentConfig, repetition: int, cell_hash: Optional[str] = None
+) -> ExperimentAnalysis:
+    """Run one repetition of ``config`` and analyze its ledger.
+
+    The repetition is self-contained: it builds a fresh chaincode, variant and
+    network seeded with :func:`repetition_seed`, so it produces the same
+    analysis no matter where or in which order it executes.  This is the unit
+    of work the parallel runner ships to worker processes.
+    """
+    chaincode = config.build_chaincode()
+    variant = create_variant(config.variant)
+    network = FabricNetwork(
+        config=config.network.copy(),
+        chaincode=chaincode,
+        variant=variant,
+        seed=repetition_seed(config, repetition, cell_hash=cell_hash),
+    )
+    record = network.run(
+        mix=config.workload.mix,
+        arrival_rate=config.arrival_rate,
+        duration=config.duration,
+        key_distribution=make_distribution(config.zipf_skew),
+        workload_name=config.workload.name,
+    )
+    return LedgerAnalyzer().analyze(record)
+
+
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run all repetitions of an experiment and analyze each run's ledger."""
     config.validate()
-    analyzer = LedgerAnalyzer()
-    analyses: List[ExperimentAnalysis] = []
-    for repetition in range(config.repetitions):
-        chaincode = config.build_chaincode()
-        variant = create_variant(config.variant)
-        network = FabricNetwork(
-            config=config.network.copy(),
-            chaincode=chaincode,
-            variant=variant,
-            seed=config.seed + repetition,
-        )
-        record = network.run(
-            mix=config.workload.mix,
-            arrival_rate=config.arrival_rate,
-            duration=config.duration,
-            key_distribution=make_distribution(config.zipf_skew),
-            workload_name=config.workload.name,
-        )
-        analyses.append(analyzer.analyze(record))
+    cell_hash = config.cell_hash()
+    analyses: List[ExperimentAnalysis] = [
+        run_repetition(config, repetition, cell_hash=cell_hash)
+        for repetition in range(config.repetitions)
+    ]
     return ExperimentResult(config=config, analyses=analyses)

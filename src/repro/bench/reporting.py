@@ -46,3 +46,21 @@ def format_series(title: str, series: Mapping[object, object]) -> str:
 def print_report(text: str) -> None:
     """Print a report block with surrounding blank lines (benchmark output)."""
     print(f"\n{text}\n")
+
+
+def format_progress(event) -> str:
+    """Render a runner :class:`~repro.bench.runner.ProgressEvent` as one line.
+
+    Example: ``[ 7/24]  29% | 3 cached | elapsed 2.1s | eta 5.0s``.
+    """
+    width = len(str(event.total))
+    percent = 100.0 * event.completed / event.total if event.total else 100.0
+    return (
+        f"[{event.completed:>{width}}/{event.total}] {percent:3.0f}% | "
+        f"{event.cache_hits} cached | elapsed {event.elapsed:.1f}s | eta {event.eta:.1f}s"
+    )
+
+
+def print_progress(event) -> None:
+    """A ready-made runner progress hook: print one line per completed task."""
+    print(format_progress(event))

@@ -1,0 +1,498 @@
+"""Parallel experiment runner with deterministic seeding and result caching.
+
+The figure-scale reproductions are sweeps — block size × arrival rate ×
+variant × skew, each cell repeated several times — and every cell/repetition
+is an independent simulation.  :class:`ExperimentRunner` exploits that: it
+flattens a batch of :class:`~repro.bench.harness.ExperimentConfig`s (or a
+declarative :class:`SweepPlan`) into ``(config, repetition)`` tasks, fans the
+tasks out across a ``multiprocessing`` pool, and reassembles the analyses into
+:class:`~repro.bench.harness.ExperimentResult`s in deterministic order.
+
+Three properties make this safe and fast:
+
+* **Determinism** — repetition ``k`` of a configuration is seeded with
+  :func:`~repro.bench.harness.repetition_seed`, a hash of the configuration's
+  content hash and ``k``.  A repetition's result therefore depends only on
+  ``(config, k)``; parallel execution is bit-identical to serial execution.
+* **Content-addressed caching** — a :class:`ResultCache` stores each
+  repetition's :class:`~repro.core.analyzer.ExperimentAnalysis` under
+  ``(cell_hash, repetition)``, in memory and optionally on disk.  Because
+  results are deterministic, serving a cached analysis is semantically
+  identical to re-running the simulation, so repeated figure regeneration
+  skips already-run cells.  Any change to the configuration changes the hash
+  and invalidates the entry.
+* **Observability** — :class:`RunnerStats` records cache hits/misses, executed
+  tasks, worker count and wall-clock per batch, and an optional progress hook
+  receives a :class:`ProgressEvent` after every completed task (see
+  :func:`repro.bench.reporting.format_progress`).
+
+Typical usage::
+
+    from repro.bench.runner import ExperimentRunner, SweepPlan
+
+    runner = ExperimentRunner(workers=4)
+    outcome = runner.run_sweep(SweepPlan(base=config, block_sizes=(10, 50, 100)))
+    for cell, result in zip(outcome.cells, outcome.results):
+        print(cell.block_size, result.failure_pct)
+    print(outcome.stats.describe())
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_repetition
+from repro.core.analyzer import ExperimentAnalysis
+from repro.errors import ConfigurationError
+
+#: A progress hook receives a :class:`ProgressEvent` after every finished task.
+ProgressHook = Callable[["ProgressEvent"], None]
+
+
+# ----------------------------------------------------------------------- stats
+@dataclass
+class RunnerStats:
+    """What one batch (``run_many``/``run_sweep`` call) did and how long it took."""
+
+    tasks_total: int = 0
+    tasks_run: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Tasks that duplicated another cell in the same batch and shared its run.
+    deduplicated: int = 0
+    workers: int = 1
+    wall_clock: float = 0.0
+
+    def describe(self) -> str:
+        """One-line human readable summary of the batch."""
+        deduplicated = f", {self.deduplicated} deduplicated" if self.deduplicated else ""
+        return (
+            f"{self.tasks_total} repetition(s): {self.cache_hits} cached{deduplicated}, "
+            f"{self.tasks_run} executed with {self.workers} worker(s) "
+            f"in {self.wall_clock:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A snapshot of batch progress, passed to the runner's progress hook."""
+
+    completed: int
+    total: int
+    cache_hits: int
+    elapsed: float
+
+    @property
+    def remaining(self) -> int:
+        """Tasks not yet finished."""
+        return self.total - self.completed
+
+    @property
+    def eta(self) -> float:
+        """Estimated seconds left, extrapolated from the mean task time."""
+        if self.completed == 0:
+            return 0.0
+        return self.elapsed / self.completed * self.remaining
+
+
+# ----------------------------------------------------------------------- cache
+class ResultCache:
+    """Content-addressed cache of per-repetition experiment analyses.
+
+    Keys are ``(cell_hash, repetition)`` where ``cell_hash`` is
+    :meth:`ExperimentConfig.cell_hash` — so any change to a configuration's
+    content yields a different key and a guaranteed miss.  Entries live in
+    memory (least-recently-used entries are evicted beyond ``max_entries``;
+    pass ``None`` for unbounded); when ``directory`` is given they are also
+    pickled to disk (atomically, via a temporary file), survive across
+    processes and are never evicted — which is what lets a second
+    ``repro sweep`` invocation skip the whole grid.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self._memory: Dict[Tuple[str, int], ExperimentAnalysis] = {}
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, cell_hash: str, repetition: int) -> Path:
+        return self.directory / f"{cell_hash}-r{repetition}.pkl"
+
+    def get(self, cell_hash: str, repetition: int) -> Optional[ExperimentAnalysis]:
+        """The cached analysis for ``(cell_hash, repetition)``, or ``None``."""
+        key = (cell_hash, repetition)
+        if key in self._memory:
+            analysis = self._memory.pop(key)
+            self._memory[key] = analysis  # refresh LRU position
+            return analysis
+        if self.directory is not None:
+            path = self._path(cell_hash, repetition)
+            if path.exists():
+                try:
+                    with path.open("rb") as handle:
+                        analysis = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                    return None
+                self._remember(key, analysis)
+                return analysis
+        return None
+
+    def _remember(self, key: Tuple[str, int], analysis: ExperimentAnalysis) -> None:
+        self._memory.pop(key, None)
+        self._memory[key] = analysis
+        while self.max_entries is not None and len(self._memory) > self.max_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    def put(self, cell_hash: str, repetition: int, analysis: ExperimentAnalysis) -> None:
+        """Store ``analysis`` under ``(cell_hash, repetition)``."""
+        self._remember((cell_hash, repetition), analysis)
+        if self.directory is not None:
+            path = self._path(cell_hash, repetition)
+            temporary = path.with_suffix(".tmp")
+            with temporary.open("wb") as handle:
+                pickle.dump(analysis, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            temporary.replace(path)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and delete on-disk entries."""
+        self._memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# ------------------------------------------------------------------ sweep plan
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of a sweep grid: the axis values plus the derived config."""
+
+    variant: str
+    block_size: int
+    arrival_rate: float
+    zipf_skew: float
+    config: ExperimentConfig
+
+
+@dataclass
+class SweepPlan:
+    """A declarative grid over the paper's sweep axes.
+
+    Every axis left at ``None`` is pinned to the base configuration's value; a
+    provided axis sweeps over its values.  An explicitly empty axis is a
+    configuration error (it would describe an empty grid).  ``cells()``
+    expands the Cartesian product in deterministic order (variant-major,
+    skew-minor).
+    """
+
+    base: ExperimentConfig
+    variants: Optional[Sequence[str]] = None
+    block_sizes: Optional[Sequence[int]] = None
+    arrival_rates: Optional[Sequence[float]] = None
+    zipf_skews: Optional[Sequence[float]] = None
+
+    def _axis(self, name: str, values: Optional[Sequence], fallback) -> List:
+        if values is None:
+            return [fallback]
+        values = list(values)
+        if not values:
+            raise ConfigurationError(f"sweep axis {name!r} is empty — the grid has no cells")
+        return values
+
+    def cells(self) -> List[SweepCell]:
+        """Expand the grid into one :class:`SweepCell` per combination."""
+        variants = self._axis("variants", self.variants, self.base.variant)
+        block_sizes = self._axis("block_sizes", self.block_sizes, self.base.network.block_size)
+        rates = self._axis("arrival_rates", self.arrival_rates, self.base.arrival_rate)
+        skews = self._axis("zipf_skews", self.zipf_skews, self.base.zipf_skew)
+        cells: List[SweepCell] = []
+        for variant, block_size, rate, skew in itertools.product(
+            variants, block_sizes, rates, skews
+        ):
+            config = self.base.with_overrides(
+                variant=variant,
+                network=self.base.network.copy(block_size=block_size),
+                arrival_rate=float(rate),
+                zipf_skew=float(skew),
+            )
+            cells.append(
+                SweepCell(
+                    variant=variant,
+                    block_size=block_size,
+                    arrival_rate=float(rate),
+                    zipf_skew=float(skew),
+                    config=config,
+                )
+            )
+        return cells
+
+
+@dataclass
+class SweepOutcome:
+    """The results of a sweep: one :class:`ExperimentResult` per grid cell."""
+
+    cells: List[SweepCell]
+    results: List[ExperimentResult]
+    stats: RunnerStats
+
+    def rows(self) -> List[Tuple]:
+        """Table rows (one per cell) matching :data:`SWEEP_HEADERS`."""
+        return [
+            (
+                cell.variant,
+                cell.block_size,
+                cell.arrival_rate,
+                cell.zipf_skew,
+                result.failure_pct,
+                result.endorsement_pct,
+                result.mvcc_pct,
+                result.average_latency,
+                result.committed_throughput,
+            )
+            for cell, result in zip(self.cells, self.results)
+        ]
+
+
+#: Column headers matching :meth:`SweepOutcome.rows`.
+SWEEP_HEADERS = (
+    "variant",
+    "block_size",
+    "arrival_rate",
+    "zipf_skew",
+    "failures_pct",
+    "endorsement_pct",
+    "mvcc_pct",
+    "latency_s",
+    "committed_tps",
+)
+
+
+# ----------------------------------------------------------------------- tasks
+@dataclass(frozen=True)
+class _Task:
+    """One repetition of one configuration in a batch."""
+
+    config_index: int
+    repetition: int
+    config: ExperimentConfig
+    cell_hash: str
+
+
+def _execute_task(config: ExperimentConfig, repetition: int, cell_hash: str) -> ExperimentAnalysis:
+    """Worker entry point: run one repetition (module-level, so it pickles)."""
+    return run_repetition(config, repetition, cell_hash=cell_hash)
+
+
+# ---------------------------------------------------------------------- runner
+class ExperimentRunner:
+    """Runs batches of experiments across a worker pool with result caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for cache-miss repetitions.  ``1`` (the default) runs
+        everything in-process; ``None`` uses ``os.cpu_count()``.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.
+    progress:
+        Optional hook called with a :class:`ProgressEvent` after each task.
+
+    ``stats`` always describes the most recent batch.  Configurations that
+    cannot be pickled (e.g. a lambda ``chaincode_factory``) are detected up
+    front and the batch transparently falls back to in-process execution, so
+    the runner never changes *what* runs — only where.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.cache = cache
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------- public API
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Run one experiment (all repetitions) through the pool and cache."""
+        return self.run_many([config])[0]
+
+    def run_many(self, configs: Sequence[ExperimentConfig]) -> List[ExperimentResult]:
+        """Run a batch of experiments and return results in input order.
+
+        All ``config × repetition`` tasks are flattened into one pool
+        submission, so parallelism spans the whole batch rather than one
+        configuration at a time.
+        """
+        started = time.perf_counter()
+        for config in configs:
+            config.validate()
+        tasks: List[_Task] = []
+        for config_index, config in enumerate(configs):
+            cell_hash = config.cell_hash()
+            for repetition in range(config.repetitions):
+                tasks.append(_Task(config_index, repetition, config, cell_hash))
+
+        analyses: Dict[Tuple[int, int], ExperimentAnalysis] = {}
+        misses: List[_Task] = []
+        shared: Dict[Tuple[str, int], List[_Task]] = {}
+        cache_hits = 0
+        deduplicated = 0
+        for task in tasks:
+            cached = (
+                self.cache.get(task.cell_hash, task.repetition) if self.cache is not None else None
+            )
+            if cached is not None:
+                analyses[(task.config_index, task.repetition)] = cached
+                cache_hits += 1
+                continue
+            key = (task.cell_hash, task.repetition)
+            if key in shared:
+                # A duplicate cell in the batch: run once, share the analysis.
+                shared[key].append(task)
+                deduplicated += 1
+            else:
+                shared[key] = []
+                misses.append(task)
+
+        self.stats = RunnerStats(
+            tasks_total=len(tasks),
+            cache_hits=cache_hits,
+            cache_misses=len(misses),
+            deduplicated=deduplicated,
+            workers=self._effective_workers(misses),
+        )
+        self._report_progress(cache_hits, len(tasks), cache_hits, started)
+        completed = cache_hits
+        for task, analysis in self._execute(misses, self.stats.workers):
+            if self.cache is not None:
+                self.cache.put(task.cell_hash, task.repetition, analysis)
+            for target in [task, *shared[(task.cell_hash, task.repetition)]]:
+                analyses[(target.config_index, target.repetition)] = analysis
+                completed += 1
+            self.stats.tasks_run += 1
+            self._report_progress(completed, len(tasks), cache_hits, started)
+
+        self.stats.wall_clock = time.perf_counter() - started
+        return [
+            ExperimentResult(
+                config=config,
+                analyses=[
+                    analyses[(config_index, repetition)]
+                    for repetition in range(config.repetitions)
+                ],
+            )
+            for config_index, config in enumerate(configs)
+        ]
+
+    def run_sweep(self, plan: SweepPlan) -> SweepOutcome:
+        """Expand ``plan`` into cells, run them all, and bundle the outcome."""
+        cells = plan.cells()
+        results = self.run_many([cell.config for cell in cells])
+        return SweepOutcome(cells=cells, results=results, stats=self.stats)
+
+    # -------------------------------------------------------------- internals
+    def _effective_workers(self, misses: Sequence[_Task]) -> int:
+        if self.workers <= 1 or len(misses) <= 1:
+            return 1
+        try:
+            pickle.dumps([(task.config, task.repetition) for task in misses])
+        except Exception:
+            return 1
+        return min(self.workers, len(misses))
+
+    def _execute(self, misses: Sequence[_Task], workers: int):
+        """Yield ``(task, analysis)`` pairs in task order."""
+        if workers <= 1:
+            for task in misses:
+                yield task, _execute_task(task.config, task.repetition, task.cell_hash)
+            return
+        arguments = [(task.config, task.repetition, task.cell_hash) for task in misses]
+        with multiprocessing.Pool(processes=workers) as pool:
+            for task, analysis in zip(misses, pool.imap(_execute_star, arguments)):
+                yield task, analysis
+
+    def _report_progress(self, completed: int, total: int, cache_hits: int, started: float) -> None:
+        if self.progress is None:
+            return
+        self.progress(
+            ProgressEvent(
+                completed=completed,
+                total=total,
+                cache_hits=cache_hits,
+                elapsed=time.perf_counter() - started,
+            )
+        )
+
+
+def _execute_star(arguments: Tuple[ExperimentConfig, int, str]) -> ExperimentAnalysis:
+    """Unpack helper for ``Pool.imap`` (which passes a single argument)."""
+    return _execute_task(*arguments)
+
+
+# -------------------------------------------------------------- default runner
+_default_runner: Optional[ExperimentRunner] = None
+
+#: In-memory LRU bound of the default runner's cache.  Quick-scale analyses
+#: are tens of KB, so this keeps repeated figure regeneration free while
+#: bounding a long session's footprint.
+DEFAULT_CACHE_ENTRIES = 128
+
+_KEEP = object()
+
+
+def get_default_runner() -> ExperimentRunner:
+    """The process-wide runner used by sweeps and figure functions by default.
+
+    Serial (``workers=1``) with a shared, LRU-bounded in-memory cache: because
+    repetitions are deterministic, the cache makes repeated figure
+    regeneration free without changing any result.  Reconfigure it (e.g. from
+    an environment variable) with :func:`configure_default_runner`.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner(
+            workers=1, cache=ResultCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        )
+    return _default_runner
+
+
+def configure_default_runner(
+    workers=_KEEP,
+    cache=_KEEP,
+    progress: Optional[ProgressHook] = None,
+) -> ExperimentRunner:
+    """Replace the default runner.
+
+    Omitted parameters keep the previous runner's setting (``workers``
+    defaults to serial on first use).  Pass ``cache=None`` to disable
+    caching, or ``workers=None`` for one worker per CPU.
+    """
+    global _default_runner
+    previous = _default_runner
+    if workers is _KEEP:
+        workers = previous.workers if previous else 1
+    if cache is _KEEP:
+        cache = previous.cache if previous else ResultCache(max_entries=DEFAULT_CACHE_ENTRIES)
+    _default_runner = ExperimentRunner(workers=workers, cache=cache, progress=progress)
+    return _default_runner

@@ -5,41 +5,53 @@ for a fixed workload, the block size and the transaction arrival rate are
 varied and the resulting failure percentages recorded; the *best* block size is
 the one with the least failures and the *worst* the one with the most
 (Section 5.1.1).
+
+All sweeps execute through an :class:`~repro.bench.runner.ExperimentRunner`
+(the shared default runner unless one is passed in), so the whole grid is
+submitted as one batch — cached cells are skipped and, with a parallel runner,
+cells run concurrently while remaining bit-identical to serial execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.harness import ExperimentConfig, ExperimentResult
+from repro.bench.runner import ExperimentRunner, get_default_runner
 from repro.core.adaptive import SweepResult
 from repro.errors import ConfigurationError
 
 
 def block_size_sweep(
-    base: ExperimentConfig, block_sizes: Sequence[int]
+    base: ExperimentConfig,
+    block_sizes: Sequence[int],
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[int, ExperimentResult]:
     """Run ``base`` once per block size and return the results keyed by size."""
     if not block_sizes:
         raise ConfigurationError("block_size_sweep needs at least one block size")
-    results: Dict[int, ExperimentResult] = {}
-    for block_size in block_sizes:
-        config = base.with_overrides(network=base.network.copy(block_size=block_size))
-        results[block_size] = run_experiment(config)
-    return results
+    runner = runner or get_default_runner()
+    configs = [
+        base.with_overrides(network=base.network.copy(block_size=block_size))
+        for block_size in block_sizes
+    ]
+    results = runner.run_many(configs)
+    return dict(zip(block_sizes, results))
 
 
 def arrival_rate_sweep(
-    base: ExperimentConfig, arrival_rates: Sequence[float]
+    base: ExperimentConfig,
+    arrival_rates: Sequence[float],
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[float, ExperimentResult]:
     """Run ``base`` once per arrival rate and return the results keyed by rate."""
     if not arrival_rates:
         raise ConfigurationError("arrival_rate_sweep needs at least one arrival rate")
-    results: Dict[float, ExperimentResult] = {}
-    for rate in arrival_rates:
-        results[rate] = run_experiment(base.with_overrides(arrival_rate=rate))
-    return results
+    runner = runner or get_default_runner()
+    configs = [base.with_overrides(arrival_rate=rate) for rate in arrival_rates]
+    results = runner.run_many(configs)
+    return dict(zip(arrival_rates, results))
 
 
 @dataclass
@@ -71,10 +83,12 @@ class BestBlockSizeResult:
 
 
 def find_best_block_size(
-    base: ExperimentConfig, block_sizes: Sequence[int]
+    base: ExperimentConfig,
+    block_sizes: Sequence[int],
+    runner: Optional[ExperimentRunner] = None,
 ) -> BestBlockSizeResult:
     """Sweep block sizes at ``base.arrival_rate`` and pick the best/worst."""
-    results = block_size_sweep(base, block_sizes)
+    results = block_size_sweep(base, block_sizes, runner=runner)
     sweep = SweepResult(
         failures_by_block_size={size: result.failure_pct for size, result in results.items()}
     )

@@ -14,6 +14,13 @@ library without writing Python:
 ``python -m repro figure <id>``
     Regenerate one of the paper's tables/figures (e.g. ``fig7``, ``table4``)
     at a chosen scale and print the rows.
+
+``python -m repro sweep``
+    Run a grid of experiments (block sizes × arrival rates × variants × skews)
+    through the parallel :class:`~repro.bench.runner.ExperimentRunner`, with
+    ``--workers`` processes and a content-addressed result cache
+    (``--cache-dir`` persists it across invocations, ``--no-cache`` disables
+    it), and print one table row per grid cell plus the runner's statistics.
 """
 
 from __future__ import annotations
@@ -25,9 +32,10 @@ from typing import List, Optional, Sequence
 from repro.bench.experiments import EXPERIMENT_INDEX, PAPER_SCALE, QUICK_SCALE, STANDARD_SCALE
 from repro.bench.harness import ExperimentConfig, run_experiment
 from repro.bench.reporting import format_table
+from repro.bench.runner import SWEEP_HEADERS, ExperimentRunner, ResultCache, SweepPlan
 from repro.chaincode import CHAINCODE_REGISTRY
 from repro.core.recommendations import RecommendationEngine
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.fabric.variant import available_variants
 from repro.network.config import CLUSTER_PRESETS, NetworkConfig
 from repro.workload.workloads import uniform_workload
@@ -55,6 +63,50 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["fabric-1.4", "fabric++", "streamchain", "fabricsharp"],
         help="variants to compare",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a grid of experiments through the parallel runner"
+    )
+    _add_experiment_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--variants",
+        nargs="*",
+        choices=available_variants(),
+        default=None,
+        help="sweep over these Fabric variants (default: just --variant)",
+    )
+    sweep_parser.add_argument(
+        "--block-sizes",
+        nargs="*",
+        type=int,
+        default=None,
+        help="sweep over these block sizes (default: just --block-size)",
+    )
+    sweep_parser.add_argument(
+        "--rates",
+        nargs="*",
+        type=float,
+        default=None,
+        help="sweep over these arrival rates in tps (default: just --rate)",
+    )
+    sweep_parser.add_argument(
+        "--skews",
+        nargs="*",
+        type=float,
+        default=None,
+        help="sweep over these Zipfian skews (default: just --skew)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the grid (default 1)"
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist cached results in this directory (reused by later sweeps)",
     )
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a paper table or figure")
@@ -154,6 +206,28 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ConfigurationError(f"--workers must be >= 1, got {args.workers}")
+    plan = SweepPlan(
+        base=_experiment_config(args),
+        variants=args.variants,
+        block_sizes=args.block_sizes,
+        arrival_rates=args.rates,
+        zipf_skews=args.skews,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ExperimentRunner(workers=args.workers, cache=cache)
+    outcome = runner.run_sweep(plan)
+    title = (
+        f"Sweep: {len(outcome.cells)} cell(s) x {args.repetitions} repetition(s) "
+        f"({args.chaincode}, {args.cluster})"
+    )
+    print(format_table(SWEEP_HEADERS, outcome.rows(), title=title))
+    print(f"\n{outcome.stats.describe()}")
+    return 0
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     experiment = EXPERIMENT_INDEX[args.artefact]
     report = experiment(_SCALES[args.scale])
@@ -170,6 +244,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(args)
         if args.command == "compare":
             return _command_compare(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "figure":
             return _command_figure(args)
     except ReproError as error:

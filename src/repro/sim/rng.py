@@ -14,6 +14,20 @@ import random
 from typing import Dict
 
 
+def derive_seed(*parts: object) -> int:
+    """Derive a 64-bit seed by hashing the given components.
+
+    The components are joined with an unambiguous separator and hashed with
+    SHA-256, so seeds derived from different component tuples never collide by
+    arithmetic accident (unlike ``base_seed + offset`` schemes, where adjacent
+    base seeds share repetition seeds).  Used by the experiment harness to give
+    every repetition of every configuration its own independent stream family.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStreams:
     """A factory of named, independently seeded ``random.Random`` streams."""
 

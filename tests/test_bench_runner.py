@@ -1,0 +1,329 @@
+"""Tests for the parallel experiment runner, seed derivation and result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, repetition_seed, run_experiment
+from repro.bench.runner import (
+    ExperimentRunner,
+    ProgressEvent,
+    ResultCache,
+    SweepPlan,
+    get_default_runner,
+)
+from repro.bench.reporting import format_progress
+from repro.chaincode.genchain import GenChainChaincode
+from repro.errors import ConfigurationError
+from repro.network.config import NetworkConfig
+from repro.workload.spec import TransactionMix, WorkloadSpec
+from repro.workload.workloads import uniform_workload
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        workload=uniform_workload("EHR", patients=30),
+        network=NetworkConfig(cluster="C1", clients=2, block_size=10, database="leveldb"),
+        arrival_rate=40.0,
+        duration=1.5,
+        repetitions=1,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _metric_tuples(result):
+    return [
+        (
+            metric.submitted_transactions,
+            metric.committed_transactions,
+            metric.average_latency,
+            metric.committed_throughput,
+            metric.failure_pct,
+        )
+        for metric in result.metrics
+    ]
+
+
+# ------------------------------------------------------------- seed derivation
+def test_adjacent_seeds_do_not_collide_across_repetitions():
+    """Regression: ``seed + repetition`` collided for adjacent config seeds."""
+    config_a = tiny_config(seed=7, repetitions=2)
+    config_b = tiny_config(seed=8, repetitions=2)
+    # Old scheme: A's repetition 1 and B's repetition 0 both ran with seed 8.
+    assert repetition_seed(config_a, 1) != repetition_seed(config_b, 0)
+    # And the adjacent-seed experiments now produce different streams end to end.
+    result_a = run_experiment(config_a)
+    result_b = run_experiment(config_b)
+    assert _metric_tuples(result_a)[1] != _metric_tuples(result_b)[0]
+
+
+def test_repetition_seed_is_stable_and_per_repetition():
+    config = tiny_config()
+    assert repetition_seed(config, 0) == repetition_seed(tiny_config(), 0)
+    assert repetition_seed(config, 0) != repetition_seed(config, 1)
+
+
+def test_repetition_seed_ignores_repetition_count():
+    """Raising ``repetitions`` must keep the identity of earlier repetitions."""
+    short = tiny_config(repetitions=1)
+    long = tiny_config(repetitions=3)
+    assert short.cell_hash() == long.cell_hash()
+    assert repetition_seed(short, 0) == repetition_seed(long, 0)
+
+
+def test_repetition_seed_depends_on_config_content():
+    assert repetition_seed(tiny_config(), 0) != repetition_seed(tiny_config(arrival_rate=41.0), 0)
+    assert repetition_seed(tiny_config(), 0) != repetition_seed(tiny_config(variant="fabric++"), 0)
+
+
+def test_run_record_carries_derived_seed():
+    config = tiny_config(repetitions=2)
+    result = run_experiment(config)
+    assert [analysis.record.seed for analysis in result.analyses] == [
+        repetition_seed(config, 0),
+        repetition_seed(config, 1),
+    ]
+
+
+def test_cell_hash_distinguishes_chaincode_factories():
+    spec = WorkloadSpec(
+        name="custom", chaincode="custom", mix=TransactionMix.from_dict({"readKey": 1.0})
+    )
+    plain = tiny_config(workload=spec, chaincode_factory=make_genchain)
+    other = tiny_config(workload=spec, chaincode_factory=make_genchain_large)
+    assert plain.cell_hash() != other.cell_hash()
+
+
+def test_cell_hash_distinguishes_closures_with_shared_code():
+    """Two closures from the same lambda over different data must not collide."""
+    spec = WorkloadSpec(
+        name="custom", chaincode="custom", mix=TransactionMix.from_dict({"readKey": 1.0})
+    )
+
+    def factory_for(num_keys):
+        return lambda: GenChainChaincode(num_keys=num_keys)
+
+    small = tiny_config(workload=spec, chaincode_factory=factory_for(100))
+    large = tiny_config(workload=spec, chaincode_factory=factory_for(200))
+    assert small.cell_hash() != large.cell_hash()
+    # Same captured data -> same hash (lambdas differing only in identity agree).
+    assert small.cell_hash() == tiny_config(
+        workload=spec, chaincode_factory=factory_for(100)
+    ).cell_hash()
+
+
+# --------------------------------------------------- serial/parallel equivalence
+def test_parallel_execution_matches_serial_execution():
+    plan = SweepPlan(base=tiny_config(repetitions=2), block_sizes=(5, 20), arrival_rates=(30, 60))
+    serial = ExperimentRunner(workers=1).run_sweep(plan)
+    parallel = ExperimentRunner(workers=3).run_sweep(plan)
+    assert parallel.stats.workers == 3
+    assert serial.rows() == parallel.rows()
+    for serial_result, parallel_result in zip(serial.results, parallel.results):
+        assert _metric_tuples(serial_result) == _metric_tuples(parallel_result)
+
+
+def test_runner_matches_run_experiment():
+    config = tiny_config(repetitions=2)
+    direct = run_experiment(config)
+    via_runner = ExperimentRunner(workers=2).run(config)
+    assert _metric_tuples(direct) == _metric_tuples(via_runner)
+
+
+def test_unpicklable_config_falls_back_to_serial():
+    spec = WorkloadSpec(
+        name="custom", chaincode="custom", mix=TransactionMix.from_dict({"readKey": 1.0})
+    )
+    config = tiny_config(
+        workload=spec, chaincode_factory=lambda: GenChainChaincode(num_keys=100), repetitions=2
+    )
+    runner = ExperimentRunner(workers=4)
+    result = runner.run(config)
+    assert runner.stats.workers == 1
+    assert result.submitted_transactions > 0
+
+
+# ----------------------------------------------------------------------- cache
+def test_cache_hits_on_identical_rerun_and_lower_wall_clock():
+    runner = ExperimentRunner(workers=1, cache=ResultCache())
+    configs = [tiny_config(), tiny_config(arrival_rate=60.0)]
+    first = runner.run_many(configs)
+    first_stats = runner.stats
+    assert (first_stats.cache_hits, first_stats.tasks_run) == (0, 2)
+
+    second = runner.run_many(configs)
+    second_stats = runner.stats
+    assert (second_stats.cache_hits, second_stats.tasks_run) == (2, 0)
+    assert second_stats.wall_clock < first_stats.wall_clock
+    for before, after in zip(first, second):
+        assert _metric_tuples(before) == _metric_tuples(after)
+
+
+def test_duplicate_cells_in_one_batch_run_once():
+    runner = ExperimentRunner(workers=1, cache=ResultCache())
+    first, second = runner.run_many([tiny_config(), tiny_config()])
+    assert runner.stats.tasks_run == 1
+    assert runner.stats.deduplicated == 1
+    assert "1 deduplicated" in runner.stats.describe()
+    assert _metric_tuples(first) == _metric_tuples(second)
+    # Dedup also works without any cache attached.
+    uncached = ExperimentRunner(workers=1)
+    uncached.run_many([tiny_config(), tiny_config()])
+    assert uncached.stats.tasks_run == 1
+
+
+def test_cache_misses_after_config_change():
+    runner = ExperimentRunner(workers=1, cache=ResultCache())
+    runner.run(tiny_config())
+    runner.run(tiny_config(arrival_rate=41.0))
+    assert runner.stats.cache_hits == 0
+    assert runner.stats.tasks_run == 1
+
+
+def test_cache_reuses_repetitions_when_count_grows():
+    runner = ExperimentRunner(workers=1, cache=ResultCache())
+    runner.run(tiny_config(repetitions=1))
+    runner.run(tiny_config(repetitions=3))
+    assert runner.stats.cache_hits == 1
+    assert runner.stats.tasks_run == 2
+
+
+def test_disk_cache_survives_runner_instances(tmp_path):
+    config = tiny_config()
+    first = ExperimentRunner(workers=1, cache=ResultCache(tmp_path))
+    before = first.run(config)
+    assert first.stats.tasks_run == 1
+
+    second = ExperimentRunner(workers=1, cache=ResultCache(tmp_path))
+    after = second.run(config)
+    assert second.stats.cache_hits == 1
+    assert second.stats.tasks_run == 0
+    assert _metric_tuples(before) == _metric_tuples(after)
+
+
+def test_cache_clear_forgets_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = ExperimentRunner(workers=1, cache=cache)
+    runner.run(tiny_config())
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert list(tmp_path.glob("*.pkl")) == []
+    runner.run(tiny_config())
+    assert runner.stats.cache_hits == 0
+
+
+def test_memory_cache_evicts_least_recently_used():
+    cache = ResultCache(max_entries=2)
+    runner = ExperimentRunner(workers=1, cache=cache)
+    configs = [tiny_config(arrival_rate=rate) for rate in (30.0, 40.0, 50.0)]
+    for config in configs:
+        runner.run(config)
+    assert len(cache) == 2
+    # The oldest entry (30 tps) was evicted, the newer two are still hits.
+    runner.run(configs[1])
+    runner.run(configs[2])
+    assert runner.stats.cache_hits == 1
+    runner.run(configs[0])
+    assert runner.stats.cache_hits == 0
+    with pytest.raises(ConfigurationError):
+        ResultCache(max_entries=0)
+
+
+def test_corrupt_disk_entry_is_treated_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = ExperimentRunner(workers=1, cache=cache)
+    runner.run(tiny_config())
+    for path in tmp_path.glob("*.pkl"):
+        path.write_bytes(b"not a pickle")
+    fresh = ExperimentRunner(workers=1, cache=ResultCache(tmp_path))
+    fresh.run(tiny_config())
+    assert fresh.stats.cache_hits == 0
+    assert fresh.stats.tasks_run == 1
+
+
+# ------------------------------------------------------------------ sweep plan
+def test_sweep_plan_expands_the_full_grid():
+    plan = SweepPlan(
+        base=tiny_config(),
+        variants=("fabric-1.4", "streamchain"),
+        block_sizes=(5, 20),
+        arrival_rates=(30,),
+    )
+    cells = plan.cells()
+    assert len(cells) == 4
+    assert [(cell.variant, cell.block_size) for cell in cells] == [
+        ("fabric-1.4", 5),
+        ("fabric-1.4", 20),
+        ("streamchain", 5),
+        ("streamchain", 20),
+    ]
+    assert all(cell.arrival_rate == 30.0 for cell in cells)
+    # Unswept axes pin to the base config.
+    assert all(cell.zipf_skew == 1.0 for cell in cells)
+    assert all(cell.config.network.block_size == cell.block_size for cell in cells)
+
+
+def test_sweep_plan_rejects_explicitly_empty_axes():
+    with pytest.raises(ConfigurationError):
+        SweepPlan(base=tiny_config(), block_sizes=()).cells()
+    with pytest.raises(ConfigurationError):
+        SweepPlan(base=tiny_config(), arrival_rates=[]).cells()
+
+
+def test_run_sweep_pairs_cells_with_results():
+    plan = SweepPlan(base=tiny_config(), block_sizes=(5, 20))
+    outcome = ExperimentRunner(workers=1).run_sweep(plan)
+    assert len(outcome.rows()) == 2
+    for cell, result in zip(outcome.cells, outcome.results):
+        assert result.config.network.block_size == cell.block_size
+        assert result.submitted_transactions > 0
+
+
+# -------------------------------------------------------------------- progress
+def test_progress_hook_sees_every_completion():
+    events = []
+    runner = ExperimentRunner(workers=1, cache=ResultCache(), progress=events.append)
+    runner.run_many([tiny_config(), tiny_config(arrival_rate=60.0)])
+    assert [event.completed for event in events] == [0, 1, 2]
+    assert all(event.total == 2 for event in events)
+    final = events[-1]
+    assert final.remaining == 0
+    assert final.eta == 0.0
+    assert "100%" in format_progress(final)
+
+    events.clear()
+    runner.run_many([tiny_config()])
+    assert events[0] == ProgressEvent(
+        completed=1, total=1, cache_hits=1, elapsed=events[0].elapsed
+    )
+
+
+# ----------------------------------------------------------------- validation
+def test_runner_rejects_bad_worker_counts():
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(workers=0)
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(workers=-2)
+
+
+def test_runner_validates_configs_before_running():
+    runner = ExperimentRunner(workers=1)
+    with pytest.raises(ConfigurationError):
+        runner.run(tiny_config(arrival_rate=-1.0))
+
+
+def test_default_runner_is_shared_and_cached():
+    assert get_default_runner() is get_default_runner()
+    assert get_default_runner().cache is not None
+
+
+# Module-level factories so the configs stay picklable in the factory tests.
+def make_genchain():
+    return GenChainChaincode(num_keys=100)
+
+
+def make_genchain_large():
+    return GenChainChaincode(num_keys=200)

@@ -77,3 +77,82 @@ def test_figure_command_regenerates_an_artefact(capsys):
 def test_figure_command_rejects_unknown_artefact():
     with pytest.raises(SystemExit):
         main(["figure", "fig99"])
+
+
+# ------------------------------------------------------------------- sweep
+SWEEP_BASE_ARGS = [
+    "sweep",
+    "--chaincode",
+    "EHR",
+    "--cluster",
+    "C1",
+    "--database",
+    "leveldb",
+    "--duration",
+    "2",
+]
+
+
+def test_sweep_command_prints_one_row_per_cell(capsys):
+    exit_code = main(SWEEP_BASE_ARGS + ["--block-sizes", "10", "30", "--rates", "40", "--no-cache"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    lines = captured.out.splitlines()
+    assert any(line.startswith("Sweep: 2 cell(s)") for line in lines)
+    cell_rows = [line for line in lines if line.startswith("fabric-1.4")]
+    assert len(cell_rows) == 2
+    assert "2 repetition(s): 0 cached, 2 executed" in captured.out
+
+
+def test_sweep_command_sweeps_variants(capsys):
+    exit_code = main(
+        SWEEP_BASE_ARGS
+        + ["--variants", "fabric-1.4", "streamchain", "--block-sizes", "10", "--no-cache"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "streamchain" in captured.out
+    assert "fabric-1.4" in captured.out
+
+
+def test_sweep_command_reports_cache_hits_across_invocations(tmp_path, capsys):
+    arguments = SWEEP_BASE_ARGS + ["--block-sizes", "10", "30", "--cache-dir", str(tmp_path)]
+    assert main(arguments) == 0
+    first = capsys.readouterr().out
+    assert "0 cached, 2 executed" in first
+
+    assert main(arguments) == 0
+    second = capsys.readouterr().out
+    assert "2 cached, 0 executed" in second
+    # Cached rerun reproduces the table rows exactly.
+    assert [line for line in first.splitlines() if line.startswith("fabric-1.4")] == [
+        line for line in second.splitlines() if line.startswith("fabric-1.4")
+    ]
+
+
+def test_sweep_command_runs_in_parallel(capsys):
+    exit_code = main(
+        SWEEP_BASE_ARGS + ["--block-sizes", "10", "30", "--workers", "2", "--no-cache"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "2 executed with 2 worker(s)" in captured.out
+
+
+def test_sweep_command_rejects_empty_grid(capsys):
+    exit_code = main(SWEEP_BASE_ARGS + ["--block-sizes"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "empty" in captured.err
+
+
+def test_sweep_command_rejects_unknown_variant():
+    with pytest.raises(SystemExit):
+        main(SWEEP_BASE_ARGS + ["--variants", "besu"])
+
+
+def test_sweep_command_rejects_bad_worker_count(capsys):
+    exit_code = main(SWEEP_BASE_ARGS + ["--block-sizes", "10", "--workers", "0"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "--workers" in captured.err

@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
+
+#: Small float times drawn from a coarse grid so same-time collisions are common.
+event_times = st.integers(min_value=0, max_value=4).map(lambda tick: tick * 0.5)
 
 
 def test_initial_clock_is_zero(sim):
@@ -121,3 +126,71 @@ def test_fresh_simulators_are_independent():
     first.run_until_empty()
     assert second.now == 0.0
     assert second.pending_events == 0
+
+
+# ----------------------------------------------------------------- properties
+@given(times=st.lists(event_times, min_size=1, max_size=20))
+def test_property_events_run_in_time_then_scheduling_order(times):
+    """Events execute sorted by time; ties break in scheduling order."""
+    sim = Simulator()
+    seen = []
+    for index, time in enumerate(times):
+        sim.schedule(time, seen.append, (time, index))
+    sim.run_until_empty()
+    assert seen == sorted(seen)
+    assert sim.processed_events == len(times)
+    assert sim.now == pytest.approx(max(times))
+
+
+@given(
+    times=st.lists(event_times, min_size=1, max_size=20),
+    cancel_mask=st.lists(st.booleans(), min_size=20, max_size=20),
+)
+def test_property_cancelled_events_are_skipped_and_not_counted(times, cancel_mask):
+    """Cancelled events never run and are excluded from ``processed_events``."""
+    sim = Simulator()
+    seen = []
+    events = [sim.schedule(time, seen.append, index) for index, time in enumerate(times)]
+    cancelled = set()
+    for index, event in enumerate(events):
+        if cancel_mask[index]:
+            event.cancel()
+            cancelled.add(index)
+    sim.run_until_empty()
+    kept = [index for index in range(len(times)) if index not in cancelled]
+    assert sorted(seen) == kept
+    assert sim.processed_events == len(kept)
+    assert not cancelled & set(seen)
+
+
+@given(
+    times=st.lists(event_times, min_size=0, max_size=20),
+    until=st.integers(min_value=0, max_value=6).map(lambda tick: tick * 0.5),
+)
+def test_property_run_until_advances_clock_to_exactly_until(times, until):
+    """``run(until=...)`` always leaves the clock at exactly ``until``."""
+    sim = Simulator()
+    for time in times:
+        sim.schedule(time, lambda: None)
+    sim.run(until=until)
+    assert sim.now == until
+    assert sim.processed_events == sum(1 for time in times if time <= until)
+    assert sim.pending_events == sum(1 for time in times if time > until)
+
+
+@settings(max_examples=25)
+@given(trigger_time=event_times, use_until=st.booleans())
+def test_property_reentrant_run_raises_and_simulation_continues(trigger_time, use_until):
+    """``run()`` from inside a callback raises, whenever the callback fires."""
+    sim = Simulator()
+    seen = []
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run(until=trigger_time + 1.0 if use_until else None)
+        seen.append("nested")
+
+    sim.schedule(trigger_time, nested)
+    sim.schedule(trigger_time + 0.5, seen.append, "after")
+    sim.run_until_empty()
+    assert seen == ["nested", "after"]
