@@ -1,0 +1,29 @@
+"""Channel scaling: throughput and abort profile vs channel count and
+cross-channel fraction (extension beyond the paper, see repro.channels)."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import channels_cross_rate, channels_scaling
+
+
+def test_channels_scaling_throughput_and_aborts(benchmark, scale):
+    report = run_figure(benchmark, channels_scaling, scale)
+    throughput = dict(
+        zip(report.column("channels"), report.column("committed_throughput_tps"))
+    )
+    mvcc = dict(zip(report.column("channels"), report.column("mvcc_pct")))
+    # At 0% cross-channel rate, sharding a saturated single orderer across
+    # channels raises aggregate throughput, and the lighter per-channel load
+    # shrinks the MVCC conflict window (hash placement spreads the hot keys).
+    assert throughput[4] > throughput[1]
+    assert mvcc[4] < mvcc[1]
+
+
+def test_channels_cross_rate_aborts_grow(benchmark, scale):
+    report = run_figure(benchmark, channels_cross_rate, scale)
+    rates = report.column("cross_channel_rate")
+    aborts = dict(zip(rates, report.column("cross_channel_abort_pct")))
+    throughput = dict(zip(rates, report.column("committed_throughput_tps")))
+    assert aborts[0.0] == 0.0
+    assert aborts[max(rates)] > aborts[0.0]
+    assert throughput[max(rates)] < throughput[0.0]

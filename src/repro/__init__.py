@@ -31,8 +31,14 @@ from repro.bench.runner import (
     SweepPlan,
 )
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
+from repro.channels import (
+    ChannelRouter,
+    ChannelTopology,
+    CrossChannelCoordinator,
+    MultiChannelNetwork,
+)
 from repro.core.adaptive import AdaptiveBlockSizeController, BlockSizeTuner
-from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
+from repro.core.analyzer import ChannelAnalysis, ExperimentAnalysis, LedgerAnalyzer
 from repro.core.classifier import TransactionClassifier
 from repro.core.failures import FailureType
 from repro.core.metrics import ExperimentMetrics, FailureReport
@@ -40,7 +46,7 @@ from repro.core.recommendations import Recommendation, RecommendationEngine
 from repro.errors import ReproError
 from repro.fabric import available_variants, create_variant
 from repro.network.config import CLUSTER_PRESETS, DatabaseType, NetworkConfig, TimingProfile
-from repro.network.network import FabricNetwork, RunRecord
+from repro.network.network import ChannelRecord, FabricNetwork, RunRecord
 from repro.workload.spec import TransactionMix, WorkloadSpec
 from repro.workload.workloads import (
     delete_heavy,
@@ -70,6 +76,12 @@ __all__ = [
     "run_repetition",
     "CHAINCODE_REGISTRY",
     "create_chaincode",
+    "ChannelAnalysis",
+    "ChannelRecord",
+    "ChannelRouter",
+    "ChannelTopology",
+    "CrossChannelCoordinator",
+    "MultiChannelNetwork",
     "AdaptiveBlockSizeController",
     "BlockSizeTuner",
     "ExperimentAnalysis",

@@ -31,6 +31,7 @@ from repro.sim.rng import derive_seed
 
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
 from repro.chaincode.base import Chaincode
+from repro.channels.network import MultiChannelNetwork
 from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
 from repro.core.metrics import ExperimentMetrics
 from repro.errors import ConfigurationError
@@ -226,6 +227,11 @@ class ExperimentResult:
         return self._mean(lambda metric: metric.failure_report.early_abort_pct)
 
     @property
+    def cross_channel_abort_pct(self) -> float:
+        """Average percentage of cross-channel transactions aborted in 2PC prepare."""
+        return self._mean(lambda metric: metric.failure_report.cross_channel_abort_pct)
+
+    @property
     def average_latency(self) -> float:
         """Average total transaction latency in seconds."""
         return self._mean(lambda metric: metric.average_latency)
@@ -261,15 +267,27 @@ def run_repetition(
     network seeded with :func:`repetition_seed`, so it produces the same
     analysis no matter where or in which order it executes.  This is the unit
     of work the parallel runner ships to worker processes.
+
+    Configurations with ``network.channels > 1`` build a
+    :class:`~repro.channels.network.MultiChannelNetwork` instead (one Fabric
+    slice per channel on a shared clock); single-channel configurations take
+    exactly the classic :class:`FabricNetwork` path.
     """
-    chaincode = config.build_chaincode()
-    variant = create_variant(config.variant)
-    network = FabricNetwork(
-        config=config.network.copy(),
-        chaincode=chaincode,
-        variant=variant,
-        seed=repetition_seed(config, repetition, cell_hash=cell_hash),
-    )
+    seed = repetition_seed(config, repetition, cell_hash=cell_hash)
+    if config.network.channels > 1:
+        network = MultiChannelNetwork(
+            config=config.network.copy(),
+            chaincode_factory=config.build_chaincode,
+            variant_factory=lambda: create_variant(config.variant),
+            seed=seed,
+        )
+    else:
+        network = FabricNetwork(
+            config=config.network.copy(),
+            chaincode=config.build_chaincode(),
+            variant=create_variant(config.variant),
+            seed=seed,
+        )
     record = network.run(
         mix=config.workload.mix,
         arrival_rate=config.arrival_rate,

@@ -21,26 +21,56 @@ library without writing Python:
     ``--workers`` processes and a content-addressed result cache
     (``--cache-dir`` persists it across invocations, ``--no-cache`` disables
     it), and print one table row per grid cell plus the runner's statistics.
+
+Every experiment command accepts the multi-channel flags ``--channels``,
+``--placement`` and ``--cross-channel-rate`` (see :mod:`repro.channels`) and a
+``--json`` flag that replaces the text tables with one machine-readable JSON
+document (configuration, failure breakdown, per-channel records, runner
+statistics).  Unknown names — variant, chaincode, cluster, figure id — are
+rejected with the list of valid choices and exit code 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.bench.experiments import EXPERIMENT_INDEX, PAPER_SCALE, QUICK_SCALE, STANDARD_SCALE
-from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
 from repro.bench.reporting import format_table
 from repro.bench.runner import SWEEP_HEADERS, ExperimentRunner, ResultCache, SweepPlan
 from repro.chaincode import CHAINCODE_REGISTRY
+from repro.core.analyzer import ExperimentAnalysis
 from repro.core.recommendations import RecommendationEngine
 from repro.errors import ConfigurationError, ReproError
 from repro.fabric.variant import available_variants
-from repro.network.config import CLUSTER_PRESETS, NetworkConfig
+from repro.network.config import CLUSTER_PRESETS, PLACEMENT_POLICIES, NetworkConfig
+
 from repro.workload.workloads import uniform_workload
 
 _SCALES = {"quick": QUICK_SCALE, "standard": STANDARD_SCALE, "paper": PAPER_SCALE}
+
+
+def _choice(kind: str, choices: Sequence[str]) -> Callable[[str], str]:
+    """An argparse ``type`` that rejects unknown values with the valid names.
+
+    argparse turns the raised :class:`argparse.ArgumentTypeError` into an
+    error message plus exit code 2, so ``repro run --variant besu`` prints the
+    known variants instead of failing with a bare error.
+    """
+
+    valid = sorted(choices)
+
+    def parse(value: str) -> str:
+        if value not in valid:
+            names = ", ".join(valid)
+            raise argparse.ArgumentTypeError(f"unknown {kind} {value!r}; valid choices: {names}")
+        return value
+
+    parse.__name__ = kind  # nicer argparse usage strings
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--variants",
         nargs="+",
+        type=_choice("variant", available_variants()),
         default=["fabric-1.4", "fabric++", "streamchain", "fabricsharp"],
         help="variants to compare",
     )
@@ -72,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--variants",
         nargs="*",
-        choices=available_variants(),
+        type=_choice("variant", available_variants()),
         default=None,
         help="sweep over these Fabric variants (default: just --variant)",
     )
@@ -111,7 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a paper table or figure")
     figure_parser.add_argument(
-        "artefact", choices=sorted(EXPERIMENT_INDEX), help="artefact id, e.g. fig7 or table4"
+        "artefact",
+        type=_choice("figure id", sorted(EXPERIMENT_INDEX)),
+        help="artefact id, e.g. fig7 or table4",
     )
     figure_parser.add_argument(
         "--scale", choices=sorted(_SCALES), default="quick", help="experiment scale"
@@ -120,9 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--variant", default="fabric-1.4", choices=available_variants())
-    parser.add_argument("--chaincode", default="EHR", choices=sorted(CHAINCODE_REGISTRY))
-    parser.add_argument("--cluster", default="C1", choices=sorted(CLUSTER_PRESETS))
+    parser.add_argument(
+        "--variant", default="fabric-1.4", type=_choice("variant", available_variants())
+    )
+    parser.add_argument(
+        "--chaincode", default="EHR", type=_choice("chaincode", sorted(CHAINCODE_REGISTRY))
+    )
+    parser.add_argument(
+        "--cluster", default="C1", type=_choice("cluster", sorted(CLUSTER_PRESETS))
+    )
     parser.add_argument("--database", default="couchdb", choices=["couchdb", "leveldb"])
     parser.add_argument("--block-size", type=int, default=100)
     parser.add_argument("--policy", default="P0", choices=["P0", "P1", "P2", "P3"])
@@ -131,6 +170,26 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--skew", type=float, default=1.0, help="Zipfian key skew")
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--channels", type=int, default=1, help="shard the network into this many channels"
+    )
+    parser.add_argument(
+        "--placement",
+        default="hash",
+        type=_choice("placement policy", PLACEMENT_POLICIES),
+        help="key placement across channels: hash, range or hot",
+    )
+    parser.add_argument(
+        "--cross-channel-rate",
+        type=float,
+        default=0.0,
+        help="fraction of transactions spanning a second channel (needs --channels >= 2)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON document instead of text tables",
+    )
 
 
 def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) -> ExperimentConfig:
@@ -142,6 +201,9 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
             database=args.database,
             block_size=args.block_size,
             endorsement_policy=args.policy,
+            channels=args.channels,
+            placement=args.placement,
+            cross_channel_rate=args.cross_channel_rate,
         ),
         arrival_rate=args.rate,
         duration=args.duration,
@@ -151,10 +213,84 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
     )
 
 
+# --------------------------------------------------------------------- JSON
+def _config_summary(config: ExperimentConfig) -> dict:
+    """The experiment configuration as JSON-serializable data."""
+    network = config.network
+    return {
+        "variant": config.variant,
+        "chaincode": config.workload.chaincode,
+        "workload": config.workload.name,
+        "cluster": network.cluster,
+        "database": str(getattr(network.database, "value", network.database)),
+        "block_size": network.block_size,
+        "endorsement_policy": network.endorsement_policy,
+        "channels": network.channels,
+        "placement": network.placement,
+        "cross_channel_rate": network.cross_channel_rate,
+        "arrival_rate": config.arrival_rate,
+        "duration": config.duration,
+        "zipf_skew": config.zipf_skew,
+        "repetitions": config.repetitions,
+        "seed": config.seed,
+    }
+
+
+def _analysis_summary(analysis: ExperimentAnalysis) -> dict:
+    """One analysis (metrics + failure breakdown + per-channel records)."""
+    metrics = analysis.metrics
+    summary = {
+        "submitted_transactions": metrics.submitted_transactions,
+        "committed_transactions": metrics.committed_transactions,
+        "average_latency_s": metrics.average_latency,
+        "committed_throughput_tps": metrics.committed_throughput,
+        "blocks": metrics.blocks,
+        "orderer_utilization": metrics.orderer_utilization,
+        "failures": analysis.failure_report.as_dict(),
+    }
+    if analysis.channel_analyses:
+        summary["channels"] = [
+            {
+                "channel": channel.name,
+                "submitted_transactions": channel.metrics.submitted_transactions,
+                "committed_throughput_tps": channel.metrics.committed_throughput,
+                "cross_channel_submitted": channel.cross_channel_submitted,
+                "cross_channel_aborted": channel.cross_channel_aborted,
+                "failures": channel.failure_report.as_dict(),
+            }
+            for channel in analysis.channel_analyses
+        ]
+    return summary
+
+
+def _print_json(document: dict) -> None:
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+# ----------------------------------------------------------------- commands
 def _command_run(args: argparse.Namespace) -> int:
-    result = run_experiment(_experiment_config(args))
+    config = _experiment_config(args)
+    result = run_experiment(config)
     analysis = result.analyses[0]
     report = analysis.failure_report
+    recommendations = RecommendationEngine().recommend(analysis)
+    if args.json:
+        _print_json(
+            {
+                "command": "run",
+                "config": _config_summary(config),
+                "result": _analysis_summary(analysis),
+                "recommendations": [
+                    {
+                        "identifier": recommendation.identifier,
+                        "title": recommendation.title,
+                        "paper_section": recommendation.paper_section,
+                    }
+                    for recommendation in recommendations
+                ],
+            }
+        )
+        return 0
     rows = [
         ("submitted transactions", analysis.metrics.submitted_transactions),
         ("committed transactions", analysis.metrics.committed_transactions),
@@ -166,8 +302,29 @@ def _command_run(args: argparse.Namespace) -> int:
         ("inter-block MVCC conflicts (%)", report.inter_block_mvcc_pct),
         ("phantom read conflicts (%)", report.phantom_pct),
     ]
+    if args.channels > 1:
+        rows.append(("cross-channel aborts (%)", report.cross_channel_abort_pct))
     print(format_table(("metric", "value"), rows, title="Experiment result"))
-    recommendations = RecommendationEngine().recommend(analysis)
+    if analysis.channel_analyses:
+        channel_rows = [
+            (
+                channel.name,
+                channel.metrics.submitted_transactions,
+                channel.metrics.committed_throughput,
+                channel.failure_report.total_failure_pct,
+                channel.cross_channel_submitted,
+                channel.cross_channel_aborted,
+            )
+            for channel in analysis.channel_analyses
+        ]
+        print()
+        print(
+            format_table(
+                ("channel", "submitted", "committed_tps", "failures_pct", "cross_sent", "cross_aborted"),
+                channel_rows,
+                title="Per-channel breakdown",
+            )
+        )
     if recommendations:
         print("\nRecommendations (paper Section 6):")
         for recommendation in recommendations:
@@ -176,19 +333,43 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    rows = []
+    results: List[ExperimentResult] = []
+    configs: List[ExperimentConfig] = []
     for variant in args.variants:
-        result = run_experiment(_experiment_config(args, variant=variant))
-        rows.append(
-            (
-                variant,
-                result.average_latency,
-                result.endorsement_pct,
-                result.mvcc_pct,
-                result.failure_pct,
-                result.committed_throughput,
-            )
+        config = _experiment_config(args, variant=variant)
+        configs.append(config)
+        results.append(run_experiment(config))
+    if args.json:
+        _print_json(
+            {
+                "command": "compare",
+                "config": _config_summary(configs[0]),
+                "variants": [
+                    {
+                        "variant": variant,
+                        "average_latency_s": result.average_latency,
+                        "endorsement_pct": result.endorsement_pct,
+                        "mvcc_pct": result.mvcc_pct,
+                        "failures_pct": result.failure_pct,
+                        "committed_throughput_tps": result.committed_throughput,
+                        "failures": result.analyses[0].failure_report.as_dict(),
+                    }
+                    for variant, result in zip(args.variants, results)
+                ],
+            }
         )
+        return 0
+    rows = [
+        (
+            variant,
+            result.average_latency,
+            result.endorsement_pct,
+            result.mvcc_pct,
+            result.failure_pct,
+            result.committed_throughput,
+        )
+        for variant, result in zip(args.variants, results)
+    ]
     print(
         format_table(
             (
@@ -219,6 +400,38 @@ def _command_sweep(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = ExperimentRunner(workers=args.workers, cache=cache)
     outcome = runner.run_sweep(plan)
+    if args.json:
+        _print_json(
+            {
+                "command": "sweep",
+                "config": _config_summary(plan.base),
+                "cells": [
+                    {
+                        "variant": cell.variant,
+                        "block_size": cell.block_size,
+                        "arrival_rate": cell.arrival_rate,
+                        "zipf_skew": cell.zipf_skew,
+                        "failures_pct": result.failure_pct,
+                        "endorsement_pct": result.endorsement_pct,
+                        "mvcc_pct": result.mvcc_pct,
+                        "average_latency_s": result.average_latency,
+                        "committed_throughput_tps": result.committed_throughput,
+                        "failures": result.analyses[0].failure_report.as_dict(),
+                    }
+                    for cell, result in zip(outcome.cells, outcome.results)
+                ],
+                "runner_stats": {
+                    "tasks_total": outcome.stats.tasks_total,
+                    "tasks_run": outcome.stats.tasks_run,
+                    "cache_hits": outcome.stats.cache_hits,
+                    "cache_misses": outcome.stats.cache_misses,
+                    "deduplicated": outcome.stats.deduplicated,
+                    "workers": outcome.stats.workers,
+                    "wall_clock_s": outcome.stats.wall_clock,
+                },
+            }
+        )
+        return 0
     title = (
         f"Sweep: {len(outcome.cells)} cell(s) x {args.repetitions} repetition(s) "
         f"({args.chaincode}, {args.cluster})"

@@ -21,12 +21,34 @@ from repro.network.network import RunRecord
 
 
 @dataclass
+class ChannelAnalysis:
+    """One channel's analysis within a multi-channel run."""
+
+    index: int
+    name: str
+    metrics: ExperimentMetrics
+    classified_failures: List[ClassifiedTransaction] = field(default_factory=list)
+    cross_channel_submitted: int = 0
+    cross_channel_aborted: int = 0
+
+    @property
+    def failure_report(self) -> FailureReport:
+        """The failure breakdown of this channel."""
+        return self.metrics.failure_report
+
+
+@dataclass
 class ExperimentAnalysis:
-    """The complete analysis of one simulated experiment run."""
+    """The complete analysis of one simulated experiment run.
+
+    Multi-channel runs additionally carry one :class:`ChannelAnalysis` per
+    channel; the top-level ``metrics`` then aggregate across channels.
+    """
 
     record: RunRecord
     metrics: ExperimentMetrics
     classified_failures: List[ClassifiedTransaction] = field(default_factory=list)
+    channel_analyses: List[ChannelAnalysis] = field(default_factory=list)
 
     @property
     def failure_report(self) -> FailureReport:
@@ -59,7 +81,37 @@ class LedgerAnalyzer:
         self._classifier = TransactionClassifier()
 
     def analyze(self, record: RunRecord) -> ExperimentAnalysis:
-        """Classify all failures of ``record`` and compute its metrics."""
+        """Classify all failures of ``record`` and compute its metrics.
+
+        Multi-channel records are classified one chain at a time (version
+        history is per channel), producing a :class:`ChannelAnalysis` per
+        channel plus aggregate metrics over all chains.
+        """
+        if record.channel_records:
+            classified: List[ClassifiedTransaction] = []
+            channel_analyses: List[ChannelAnalysis] = []
+            for channel in record.channel_records:
+                channel_classified = self._classifier.classify_ledger(
+                    channel.record.ledger, channel.record.early_aborted
+                )
+                classified.extend(channel_classified)
+                channel_analyses.append(
+                    ChannelAnalysis(
+                        index=channel.index,
+                        name=channel.name,
+                        metrics=compute_metrics(channel.record, channel_classified),
+                        classified_failures=channel_classified,
+                        cross_channel_submitted=channel.cross_channel_submitted,
+                        cross_channel_aborted=channel.cross_channel_aborted,
+                    )
+                )
+            metrics = compute_metrics(record, classified)
+            return ExperimentAnalysis(
+                record=record,
+                metrics=metrics,
+                classified_failures=classified,
+                channel_analyses=channel_analyses,
+            )
         classified = self._classifier.classify_ledger(record.ledger, record.early_aborted)
         metrics = compute_metrics(record, classified)
         return ExperimentAnalysis(record=record, metrics=metrics, classified_failures=classified)

@@ -55,11 +55,12 @@ class TransactionClassifier:
                     self._classify_failure(tx, block.number, committed_versions, last_writer)
                 )
         for tx in early_aborted:
-            failure_type = (
-                FailureType.ENDORSEMENT_POLICY
-                if tx.validation_code is ValidationCode.ENDORSEMENT_POLICY_FAILURE
-                else FailureType.EARLY_ABORT
-            )
+            if tx.validation_code is ValidationCode.ENDORSEMENT_POLICY_FAILURE:
+                failure_type = FailureType.ENDORSEMENT_POLICY
+            elif tx.validation_code is ValidationCode.CROSS_CHANNEL_ABORT:
+                failure_type = FailureType.CROSS_CHANNEL_ABORT
+            else:
+                failure_type = FailureType.EARLY_ABORT
             classified.append(ClassifiedTransaction(tx=tx, failure_type=failure_type))
         return classified
 

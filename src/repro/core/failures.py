@@ -36,6 +36,10 @@ class FailureType(enum.Enum):
     ORDERING_ABORT = "aborted_in_ordering"
     #: Transactions aborted by FabricSharp before ordering (never reach a block).
     EARLY_ABORT = "early_abort"
+    #: Cross-channel transactions whose two-phase prepare was aborted by the
+    #: coordinator (a lock conflict during the prepare window; never reach a
+    #: block — extension beyond the paper, see :mod:`repro.channels`).
+    CROSS_CHANNEL_ABORT = "cross_channel_abort"
 
     @property
     def is_mvcc(self) -> bool:

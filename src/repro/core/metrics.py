@@ -35,19 +35,24 @@ class FailureReport:
             return 0.0
         return 100.0 * self.count(failure_type) / self.total_transactions
 
+    #: Failure classes whose transactions never reach a block: FabricSharp's
+    #: early aborts and the cross-channel coordinator's prepare aborts.
+    NEVER_ON_CHAIN = frozenset({FailureType.EARLY_ABORT, FailureType.CROSS_CHANNEL_ABORT})
+
     @property
     def recorded_failures(self) -> int:
         """Failed transactions recorded on the blockchain.
 
-        FabricSharp's early aborts never reach a block, so — like the paper,
-        which collects all metrics by parsing the blockchain — they are not
-        part of the headline failure percentage; they show up as reduced
-        committed throughput instead (Section 5.4.2).
+        FabricSharp's early aborts and cross-channel prepare aborts never
+        reach a block, so — like the paper, which collects all metrics by
+        parsing the blockchain — they are not part of the headline failure
+        percentage; they show up as reduced committed throughput instead
+        (Section 5.4.2).
         """
         return sum(
             count
             for failure_type, count in self.counts.items()
-            if failure_type is not FailureType.EARLY_ABORT
+            if failure_type not in self.NEVER_ON_CHAIN
         )
 
     @property
@@ -96,6 +101,11 @@ class FailureReport:
     def early_abort_pct(self) -> float:
         """Transactions aborted before ordering and never recorded (FabricSharp)."""
         return self.percentage(FailureType.EARLY_ABORT)
+
+    @property
+    def cross_channel_abort_pct(self) -> float:
+        """Cross-channel transactions aborted by the 2PC prepare (multi-channel)."""
+        return self.percentage(FailureType.CROSS_CHANNEL_ABORT)
 
     def as_dict(self) -> Dict[str, float]:
         """Percentages keyed by failure-type value (for reports and tests)."""
@@ -173,23 +183,29 @@ def compute_metrics(
 
     ``classified`` may be passed in to avoid re-running the classifier when the
     caller (e.g. :class:`~repro.core.analyzer.LedgerAnalyzer`) already did.
+    Multi-channel records aggregate over every channel's chain (each channel
+    is classified against its own ledger, since MVCC history is per chain).
     """
     if classified is None:
-        classified = TransactionClassifier().classify_ledger(record.ledger, record.early_aborted)
+        classifier = TransactionClassifier()
+        classified = []
+        for ledger, early_aborted in record.classification_units():
+            classified.extend(classifier.classify_ledger(ledger, early_aborted))
     # Read-only transactions that were answered locally (client-design
     # ablation) are not considered submitted-for-ordering, mirroring the paper
     # where they simply never reach the blockchain.
     submitted_count = len(record.transactions) - len(record.read_only_skipped)
     report = build_failure_report(classified, submitted_count)
-    committed = record.ledger.committed_transactions()
-    appended = record.ledger.transaction_count
+    ledgers = record.ledgers()
+    committed = sum(len(ledger.committed_transactions()) for ledger in ledgers)
+    appended = sum(ledger.transaction_count for ledger in ledgers)
     last_commit = max((tx.committed_at or 0.0 for tx in record.transactions), default=0.0)
     horizon = max(record.duration, last_commit)
     throughput = appended / horizon if horizon > 0 else 0.0
-    successful_throughput = len(committed) / horizon if horizon > 0 else 0.0
-    blocks = record.ledger.height
+    successful_throughput = committed / horizon if horizon > 0 else 0.0
+    blocks = sum(ledger.height for ledger in ledgers)
     average_fill = (
-        sum(block.size for block in record.ledger) / blocks if blocks else 0.0
+        sum(block.size for ledger in ledgers for block in ledger) / blocks if blocks else 0.0
     )
     return ExperimentMetrics(
         variant=record.variant_name,
@@ -199,7 +215,7 @@ def compute_metrics(
         block_size=record.config.block_size,
         duration=record.duration,
         submitted_transactions=submitted_count,
-        committed_transactions=len(committed),
+        committed_transactions=committed,
         failure_report=report,
         average_latency=_average_latency(record.transactions),
         committed_throughput=throughput,

@@ -39,11 +39,17 @@ class RecommendationEngine:
         endorsement_threshold_pct: float = 1.0,
         phantom_threshold_pct: float = 1.0,
         read_only_share_threshold: float = 0.3,
+        orderer_utilization_threshold: float = 0.8,
+        cross_channel_threshold_pct: float = 1.0,
+        channel_imbalance_threshold: float = 1.5,
     ) -> None:
         self.mvcc_threshold_pct = mvcc_threshold_pct
         self.endorsement_threshold_pct = endorsement_threshold_pct
         self.phantom_threshold_pct = phantom_threshold_pct
         self.read_only_share_threshold = read_only_share_threshold
+        self.orderer_utilization_threshold = orderer_utilization_threshold
+        self.cross_channel_threshold_pct = cross_channel_threshold_pct
+        self.channel_imbalance_threshold = channel_imbalance_threshold
 
     def recommend(self, analysis: ExperimentAnalysis) -> List[Recommendation]:
         """All recommendations triggered by this analysis."""
@@ -142,6 +148,8 @@ class RecommendationEngine:
                 )
             )
 
+        self._channel_rules(analysis, recommendations)
+
         if analysis.record.config.delayed_orgs:
             recommendations.append(
                 Recommendation(
@@ -156,6 +164,66 @@ class RecommendationEngine:
                 )
             )
         return recommendations
+
+    def _channel_rules(
+        self, analysis: ExperimentAnalysis, recommendations: List[Recommendation]
+    ) -> None:
+        """Channel-count advice for the multi-channel extension."""
+        report = analysis.failure_report
+        config = analysis.record.config
+        metrics = analysis.metrics
+        if (
+            config.channels == 1
+            and metrics.orderer_utilization >= self.orderer_utilization_threshold
+        ):
+            recommendations.append(
+                Recommendation(
+                    identifier="channel-count",
+                    title="Shard the workload across multiple channels",
+                    rationale=(
+                        f"the single ordering service is "
+                        f"{100 * metrics.orderer_utilization:.0f}% utilized; partitioning the "
+                        "key space across channels gives every shard its own orderer and "
+                        "block cutter, raising aggregate throughput and shrinking the MVCC "
+                        "conflict window."
+                    ),
+                    paper_section="Extension: multi-channel deployments",
+                )
+            )
+        if config.channels > 1:
+            if report.cross_channel_abort_pct >= self.cross_channel_threshold_pct:
+                recommendations.append(
+                    Recommendation(
+                        identifier="cross-channel",
+                        title="Reduce cross-channel transactions",
+                        rationale=(
+                            f"{report.cross_channel_abort_pct:.2f}% of transactions abort in "
+                            "the two-phase cross-channel prepare; co-locate keys that are "
+                            "updated together on one channel or lower the cross-channel "
+                            "fraction."
+                        ),
+                        paper_section="Extension: multi-channel deployments",
+                    )
+                )
+            submitted = [
+                channel.metrics.submitted_transactions for channel in analysis.channel_analyses
+            ]
+            if submitted:
+                mean = sum(submitted) / len(submitted)
+                if mean > 0 and max(submitted) / mean >= self.channel_imbalance_threshold:
+                    recommendations.append(
+                        Recommendation(
+                            identifier="placement",
+                            title="Rebalance the key placement across channels",
+                            rationale=(
+                                f"the busiest channel received {max(submitted)} of "
+                                f"{sum(submitted)} transactions "
+                                f"({max(submitted) / mean:.1f}x the mean); hash placement "
+                                "spreads hot keys evenly across channels."
+                            ),
+                            paper_section="Extension: multi-channel deployments",
+                        )
+                    )
 
     @staticmethod
     def _read_only_share(analysis: ExperimentAnalysis) -> float:

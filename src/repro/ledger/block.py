@@ -28,7 +28,9 @@ class ValidationCode(enum.Enum):
     read/write-set-mismatch VSCC failure studied in the paper;
     ``ABORTED_BY_REORDERING`` marks transactions aborted inside the ordering
     phase by Fabric++; ``EARLY_ABORT`` marks transactions aborted before
-    ordering by FabricSharp (these never reach a block).
+    ordering by FabricSharp (these never reach a block);
+    ``CROSS_CHANNEL_ABORT`` marks cross-channel transactions whose two-phase
+    prepare failed at the coordinator (these never reach a block either).
     """
 
     VALID = "VALID"
@@ -37,6 +39,7 @@ class ValidationCode(enum.Enum):
     PHANTOM_READ_CONFLICT = "PHANTOM_READ_CONFLICT"
     ABORTED_BY_REORDERING = "ABORTED_BY_REORDERING"
     EARLY_ABORT = "EARLY_ABORT"
+    CROSS_CHANNEL_ABORT = "CROSS_CHANNEL_ABORT"
 
     @property
     def is_failure(self) -> bool:
@@ -82,6 +85,11 @@ class Transaction:
     function: str
     args: Tuple[Any, ...] = ()
     read_only: bool = False
+    #: Channel the transaction was submitted on (``None`` outside multi-channel
+    #: runs) and, for cross-channel transactions, the second channel involved
+    #: in the two-phase prepare/commit.
+    channel: Optional[int] = None
+    partner_channel: Optional[int] = None
 
     # Execution phase -----------------------------------------------------
     submitted_at: float = 0.0

@@ -108,6 +108,13 @@ class TimingProfile:
     ramdisk_factor: float = 0.3
     no_ramdisk_penalty: float = 4.0
 
+    # Multi-channel deployments (extension beyond the paper) -----------------
+    #: Service time one cross-channel prepare occupies on the partner
+    #: channel's ordering service (the escrow handshake of the two-phase
+    #: prepare/commit; it queues behind that channel's block consensus, so a
+    #: loaded partner channel stretches the prepare window).
+    cross_channel_prepare: float = 0.003
+
     # Fabric++ / FabricSharp reordering (Sections 5.2 and 5.4) ---------------
     reorder_per_tx: float = 0.0002
     reorder_per_edge: float = 0.0002
@@ -121,6 +128,10 @@ class TimingProfile:
     #: up to this many seconds, which is the staleness the paper blames for the
     #: extra endorsement policy failures (Section 5.4.1).
     sharp_snapshot_delay: float = 0.15
+
+
+#: The key-placement policies understood by the channel subsystem.
+PLACEMENT_POLICIES = ("hash", "range", "hot")
 
 
 @dataclass
@@ -150,6 +161,18 @@ class NetworkConfig:
     submit_read_only: bool = True
     client_side_check: bool = False
     resource_factor: Optional[float] = None
+    #: Number of channels the network is sharded into.  ``1`` (the default)
+    #: is the paper's single-channel setup; higher counts partition the key
+    #: space across independent ledgers/ordering services (see
+    #: :mod:`repro.channels`).
+    channels: int = 1
+    #: How the key space is placed onto channels: ``hash`` (balanced),
+    #: ``range`` (contiguous shards) or ``hot`` (one hot channel owning the
+    #: most popular keys).
+    placement: str = "hash"
+    #: Fraction of submitted transactions that additionally span a second
+    #: channel and commit through the two-phase cross-channel coordinator.
+    cross_channel_rate: float = 0.0
     timing: TimingProfile = field(default_factory=TimingProfile)
 
     def __post_init__(self) -> None:
@@ -200,6 +223,22 @@ class NetworkConfig:
                 )
         if self.resource_factor is not None and self.resource_factor <= 0:
             raise ConfigurationError("the resource factor must be positive")
+        if self.channels < 1:
+            raise ConfigurationError(f"need at least one channel, got {self.channels}")
+        if self.placement not in PLACEMENT_POLICIES:
+            known = ", ".join(sorted(PLACEMENT_POLICIES))
+            raise ConfigurationError(
+                f"unknown placement policy {self.placement!r}; known policies: {known}"
+            )
+        if not 0.0 <= self.cross_channel_rate <= 1.0:
+            raise ConfigurationError(
+                f"the cross-channel rate must be in [0, 1], got {self.cross_channel_rate}"
+            )
+        if self.cross_channel_rate > 0 and self.channels < 2:
+            raise ConfigurationError(
+                "cross-channel transactions need at least two channels "
+                f"(channels={self.channels}, cross_channel_rate={self.cross_channel_rate})"
+            )
 
     # ------------------------------------------------------------- accessors
     @property
@@ -218,8 +257,14 @@ class NetworkConfig:
 
     def describe(self) -> str:
         """One-line human readable summary used in reports."""
-        return (
+        summary = (
             f"cluster={self.cluster} orgs={self.orgs} peers/org={self.peers_per_org} "
             f"db={DatabaseType.parse(self.database).value} block_size={self.block_size} "
             f"policy={self.endorsement_policy}"
         )
+        if self.channels > 1:
+            summary += (
+                f" channels={self.channels} placement={self.placement} "
+                f"cross={self.cross_channel_rate:.0%}"
+            )
+        return summary

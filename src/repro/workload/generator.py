@@ -21,15 +21,31 @@ from repro.workload.spec import TransactionMix
 
 @dataclass(frozen=True)
 class TransactionRequest:
-    """One client invocation: the function, its arguments and a read-only flag."""
+    """One client invocation: the function, its arguments and a read-only flag.
+
+    ``entity_index`` records the primary entity drawn for the request (the
+    first index-chooser call of ``sample_args``), or ``None`` for functions
+    that select no entity.  It is diagnostic metadata — e.g. for
+    :meth:`repro.channels.topology.ChannelRouter.route_request` and shard
+    assertions in tests — and does not influence execution.
+    """
 
     function: str
     args: Tuple[Any, ...]
     read_only: bool
+    entity_index: Optional[int] = None
 
 
 class WorkloadGenerator:
-    """Draws :class:`TransactionRequest` objects for a chaincode and mix."""
+    """Draws :class:`TransactionRequest` objects for a chaincode and mix.
+
+    ``primary_distribution`` optionally replaces the key distribution for the
+    *first* entity draw of each request only — the draw that selects the
+    request's primary key (patient, voter, genChain key, ...).  Channel-aware
+    key generation plugs in here: a sharded distribution restricts each
+    channel's primary keys to its shard while secondary choices (record types,
+    grantees, ...) keep the unrestricted base distribution.
+    """
 
     def __init__(
         self,
@@ -37,11 +53,13 @@ class WorkloadGenerator:
         mix: TransactionMix,
         rng: random.Random,
         key_distribution: Optional[KeyDistribution] = None,
+        primary_distribution: Optional[KeyDistribution] = None,
     ) -> None:
         self.chaincode = chaincode
         self.mix = mix
         self.rng = rng
         self.key_distribution = key_distribution or UniformDistribution()
+        self.primary_distribution = primary_distribution or self.key_distribution
         self._functions: List[str] = []
         self._weights: List[float] = []
         known = set(chaincode.functions())
@@ -57,17 +75,25 @@ class WorkloadGenerator:
         if not self._functions:
             raise WorkloadError("the transaction mix assigns zero weight to every function")
 
-    def _index_chooser(self, population: int) -> int:
-        return self.key_distribution.sample(self.rng, population)
-
     def next_request(self) -> TransactionRequest:
         """Draw the next invocation."""
         function = self.rng.choices(self._functions, weights=self._weights, k=1)[0]
-        args = self.chaincode.sample_args(function, self.rng, self._index_chooser)
+        recorded: List[int] = []
+
+        def chooser(population: int) -> int:
+            if not recorded:
+                index = self.primary_distribution.sample(self.rng, population)
+            else:
+                index = self.key_distribution.sample(self.rng, population)
+            recorded.append(index)
+            return index
+
+        args = self.chaincode.sample_args(function, self.rng, chooser)
         return TransactionRequest(
             function=function,
             args=args,
             read_only=self.chaincode.is_read_only(function),
+            entity_index=recorded[0] if recorded else None,
         )
 
     def generate(self, count: int) -> List[TransactionRequest]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -156,3 +158,109 @@ def test_sweep_command_rejects_bad_worker_count(capsys):
     captured = capsys.readouterr()
     assert exit_code == 2
     assert "--workers" in captured.err
+
+
+# ---------------------------------------------------------------- error paths
+@pytest.mark.parametrize(
+    "argv,expected",
+    [
+        (["run", "--chaincode", "nope"], "DRM, DV, EHR, SCM, genChain"),
+        (["run", "--variant", "besu"], "fabric-1.4"),
+        (["figure", "fig99"], "fig4"),
+        (["run", "--placement", "round-robin"], "hash"),
+    ],
+)
+def test_unknown_choices_list_valid_names_and_exit_2(argv, expected, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    captured = capsys.readouterr()
+    assert "unknown" in captured.err
+    assert expected in captured.err
+
+
+def test_cross_channel_rate_without_channels_exits_2(capsys):
+    exit_code = main(["run", "--cross-channel-rate", "0.5", "--duration", "1"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "cross-channel" in captured.err
+
+
+# -------------------------------------------------------------------- channels
+RUN_CHANNEL_ARGS = [
+    "run",
+    "--database",
+    "leveldb",
+    "--block-size",
+    "10",
+    "--rate",
+    "60",
+    "--duration",
+    "2",
+    "--channels",
+    "2",
+]
+
+
+def test_run_command_prints_per_channel_breakdown(capsys):
+    exit_code = main(RUN_CHANNEL_ARGS + ["--cross-channel-rate", "0.3"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Per-channel breakdown" in captured.out
+    assert "channel0" in captured.out
+    assert "channel1" in captured.out
+    assert "cross-channel aborts (%)" in captured.out
+
+
+# ------------------------------------------------------------------------ json
+def test_run_command_json_output(capsys):
+    exit_code = main(RUN_CHANNEL_ARGS + ["--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["command"] == "run"
+    assert document["config"]["channels"] == 2
+    assert document["result"]["submitted_transactions"] > 0
+    assert "cross_channel_abort" in document["result"]["failures"]
+    assert len(document["result"]["channels"]) == 2
+    assert isinstance(document["recommendations"], list)
+
+
+def test_compare_command_json_output(capsys):
+    exit_code = main(
+        [
+            "compare",
+            "--variants",
+            "fabric-1.4",
+            "streamchain",
+            "--database",
+            "leveldb",
+            "--block-size",
+            "10",
+            "--rate",
+            "40",
+            "--duration",
+            "2",
+            "--json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["command"] == "compare"
+    variants = [entry["variant"] for entry in document["variants"]]
+    assert variants == ["fabric-1.4", "streamchain"]
+    assert all("failures" in entry for entry in document["variants"])
+
+
+def test_sweep_command_json_output(capsys):
+    exit_code = main(
+        SWEEP_BASE_ARGS + ["--block-sizes", "10", "30", "--no-cache", "--json"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["command"] == "sweep"
+    assert len(document["cells"]) == 2
+    assert document["runner_stats"]["tasks_total"] == 2
+    assert {cell["block_size"] for cell in document["cells"]} == {10, 30}
