@@ -1,6 +1,6 @@
 """Figure 4: best block size at different transaction arrival rates."""
 
-from conftest import bench_scale, run_figure
+from conftest import run_figure
 
 from repro.bench.experiments import figure04_best_block_size
 

@@ -1,0 +1,40 @@
+"""Retry mitigation: client-effective failure rate vs raw failure rate and
+goodput per retry policy, plus retry-storm containment via the global
+resubmission rate cap (extension beyond the paper, see repro.lifecycle)."""
+
+from conftest import run_figure
+
+from repro.bench.experiments import retry_mitigation, retry_storm_cap
+
+
+def test_retry_mitigation_lowers_client_effective_failures(benchmark, scale):
+    report = run_figure(benchmark, retry_mitigation, scale)
+    raw = dict(zip(report.column("retry_policy"), report.column("raw_failure_pct")))
+    effective = dict(
+        zip(report.column("retry_policy"), report.column("client_effective_failure_pct"))
+    )
+    goodput = dict(zip(report.column("retry_policy"), report.column("goodput_tps")))
+    # Without retries the two failure rates coincide: every attempt is a
+    # logical request.
+    assert effective["none"] == raw["none"]
+    # With retries enabled, the failure rate a client experiences falls well
+    # below the raw per-attempt rate the blockchain records...
+    for policy in ("immediate", "fixed", "jittered"):
+        assert effective[policy] < raw[policy]
+        assert effective[policy] < effective["none"]
+    # ...while jittered backoff keeps goodput within 10% of the no-retry
+    # baseline (the acceptance bar of the lifecycle refactor).
+    assert goodput["jittered"] >= 0.9 * goodput["none"]
+
+
+def test_retry_storm_cap_bounds_amplification(benchmark, scale):
+    report = run_figure(benchmark, retry_storm_cap, scale)
+    caps = report.column("rate_cap")
+    amplification = dict(zip(caps, report.column("retry_amplification")))
+    denied = dict(zip(caps, report.column("rate_denied")))
+    uncapped, tightest = caps[0], caps[-1]
+    # The uncapped storm amplifies load; the tightest cap sheds resubmissions
+    # (rate_denied > 0) and bounds the amplification factor.
+    assert denied[uncapped] == 0
+    assert denied[tightest] > 0
+    assert amplification[tightest] < amplification[uncapped]

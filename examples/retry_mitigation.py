@@ -1,0 +1,112 @@
+"""Client retries: raw failure rate vs the rate clients actually experience.
+
+The paper asks *why do my blockchain transactions fail?* — and the reason the
+answer matters to clients is that failed transactions must be detected and
+resubmitted.  This example enables the client retry subsystem
+(``repro.lifecycle.retry``) on a skewed, MVCC-contended workload and compares
+the four retry policies.  Two things to watch:
+
+* the *raw* (per-attempt) failure rate barely improves — resubmissions
+  re-enter the same conflict window — while the *client-effective* failure
+  rate (logical requests that never commit) drops sharply;
+* goodput (committed logical requests per second) stays within 10% of the
+  no-retry baseline when the backoff window is kept tight; under heavier
+  contention the synchronized policies lose more of it than jittered backoff,
+  because they re-create the conflicting batch one backoff later.
+
+A second table shows a retry storm being contained by the deployment-wide
+resubmission rate cap.
+
+Run with::
+
+    python examples/retry_mitigation.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import ExperimentConfig, NetworkConfig, RetryConfig, run_experiment, uniform_workload
+from repro.bench.reporting import format_table, print_report
+
+
+def config(policy: str, rate_cap: Optional[float] = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        workload=uniform_workload("EHR", patients=100),
+        network=NetworkConfig(
+            cluster="C1",
+            block_size=10,
+            database="leveldb",
+            retry=RetryConfig(
+                policy=policy,
+                max_retries=3,
+                backoff=0.05,
+                max_backoff=0.25,
+                rate_cap=rate_cap,
+            ),
+        ),
+        arrival_rate=50.0,
+        duration=8.0,
+        zipf_skew=1.4,
+        seed=7,
+    )
+
+
+def main() -> None:
+    print("Retrying failed transactions on a skewed 50 tps EHR workload ...\n")
+    rows = []
+    for policy in ("none", "immediate", "fixed", "jittered"):
+        metrics = run_experiment(config(policy)).analyses[0].metrics
+        rows.append(
+            (
+                policy,
+                metrics.failure_pct,
+                metrics.client_effective_failure_pct,
+                metrics.goodput,
+                metrics.resubmissions,
+                metrics.retry_amplification,
+            )
+        )
+    print_report(
+        format_table(
+            (
+                "retry_policy",
+                "raw_failure_pct",
+                "client_effective_pct",
+                "goodput_tps",
+                "resubmissions",
+                "amplification",
+            ),
+            rows,
+            title="Raw vs client-effective failure rate per retry policy",
+        )
+    )
+    print(
+        "The raw rate counts every attempt the blockchain records; the\n"
+        "client-effective rate counts logical requests that never committed.\n"
+    )
+
+    print("Containing the retry storm with a global resubmission rate cap ...\n")
+    rows = []
+    for cap in (None, 25.0, 10.0):
+        metrics = run_experiment(config("immediate", rate_cap=cap)).analyses[0].metrics
+        rows.append(
+            (
+                "uncapped" if cap is None else f"{cap:.0f}/s",
+                metrics.retry_amplification,
+                metrics.retry_rate_denied,
+                metrics.client_effective_failure_pct,
+                metrics.goodput,
+            )
+        )
+    print_report(
+        format_table(
+            ("rate_cap", "amplification", "rate_denied", "client_effective_pct", "goodput_tps"),
+            rows,
+            title="Immediate retries under a deployment-wide rate cap",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

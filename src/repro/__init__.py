@@ -45,6 +45,17 @@ from repro.core.metrics import ExperimentMetrics, FailureReport
 from repro.core.recommendations import Recommendation, RecommendationEngine
 from repro.errors import ReproError
 from repro.fabric import available_variants, create_variant
+from repro.lifecycle import (
+    LifecycleBus,
+    LifecycleEvent,
+    LifecycleEventType,
+    RetryConfig,
+    RetryController,
+    RetryPolicy,
+    available_retry_policies,
+    create_retry_policy,
+)
+from repro.lifecycle.pipeline import build_network
 from repro.network.config import CLUSTER_PRESETS, DatabaseType, NetworkConfig, TimingProfile
 from repro.network.network import ChannelRecord, FabricNetwork, RunRecord
 from repro.workload.spec import TransactionMix, WorkloadSpec
@@ -59,7 +70,9 @@ from repro.workload.workloads import (
     update_heavy,
 )
 
-__version__ = "1.0.0"
+#: Single source of the library version; the CLI's ``--version`` flag and any
+#: packaging metadata must read it from here.
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -95,6 +108,15 @@ __all__ = [
     "ReproError",
     "available_variants",
     "create_variant",
+    "LifecycleBus",
+    "LifecycleEvent",
+    "LifecycleEventType",
+    "RetryConfig",
+    "RetryController",
+    "RetryPolicy",
+    "available_retry_policies",
+    "create_retry_policy",
+    "build_network",
     "CLUSTER_PRESETS",
     "DatabaseType",
     "NetworkConfig",

@@ -31,13 +31,12 @@ from repro.sim.rng import derive_seed
 
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
 from repro.chaincode.base import Chaincode
-from repro.channels.network import MultiChannelNetwork
 from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
 from repro.core.metrics import ExperimentMetrics
 from repro.errors import ConfigurationError
-from repro.fabric.variant import create_variant
+from repro.lifecycle.pipeline import build_network
+from repro.lifecycle.retry import RetryConfig
 from repro.network.config import NetworkConfig
-from repro.network.network import FabricNetwork
 from repro.workload.distributions import make_distribution
 from repro.workload.spec import WorkloadSpec
 from repro.workload.workloads import uniform_workload
@@ -109,11 +108,23 @@ class ExperimentConfig:
 
 
 def _canonical(value):
-    """Reduce ``value`` to JSON-serializable data with a stable ordering."""
+    """Reduce ``value`` to JSON-serializable data with a stable ordering.
+
+    A disabled :class:`~repro.lifecycle.retry.RetryConfig` is omitted from
+    the payload: with retries off no controller, stream or event is ever
+    created, so every disabled config — the default, ``max_retries=0``, an
+    unused backoff tweak — describes the same experiment and must keep the
+    cell hash (and therefore the per-repetition seeds and every cached
+    result) it had before the retry subsystem existed.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _canonical(getattr(value, field.name))
             for field in dataclasses.fields(value)
+            if not (
+                isinstance(getattr(value, field.name), RetryConfig)
+                and not getattr(value, field.name).enabled
+            )
         }
     if isinstance(value, enum.Enum):
         return value.value
@@ -246,6 +257,26 @@ class ExperimentResult:
         """Total transactions submitted across repetitions."""
         return sum(metric.submitted_transactions for metric in self.metrics)
 
+    @property
+    def client_effective_failure_pct(self) -> float:
+        """Average percentage of logical requests that never committed."""
+        return self._mean(lambda metric: metric.client_effective_failure_pct)
+
+    @property
+    def goodput(self) -> float:
+        """Average committed logical requests per second."""
+        return self._mean(lambda metric: metric.goodput)
+
+    @property
+    def retry_amplification(self) -> float:
+        """Average submitted attempts per logical request (1.0 = no retries)."""
+        return self._mean(lambda metric: metric.retry_amplification)
+
+    @property
+    def resubmissions(self) -> int:
+        """Total client resubmissions across repetitions."""
+        return sum(metric.resubmissions for metric in self.metrics)
+
     def mean_function_latency_ms(self, operation: str) -> float:
         """Average per-call latency of a state-database operation (Table 4)."""
         values = [
@@ -268,26 +299,20 @@ def run_repetition(
     analysis no matter where or in which order it executes.  This is the unit
     of work the parallel runner ships to worker processes.
 
-    Configurations with ``network.channels > 1`` build a
-    :class:`~repro.channels.network.MultiChannelNetwork` instead (one Fabric
-    slice per channel on a shared clock); single-channel configurations take
-    exactly the classic :class:`FabricNetwork` path.
+    The deployment shape is decided by the shared build path
+    (:func:`repro.lifecycle.pipeline.build_network`): configurations with
+    ``network.channels > 1`` come back as a
+    :class:`~repro.channels.network.MultiChannelNetwork` (one Fabric slice per
+    channel on a shared clock), single-channel configurations as exactly the
+    classic :class:`FabricNetwork`.
     """
     seed = repetition_seed(config, repetition, cell_hash=cell_hash)
-    if config.network.channels > 1:
-        network = MultiChannelNetwork(
-            config=config.network.copy(),
-            chaincode_factory=config.build_chaincode,
-            variant_factory=lambda: create_variant(config.variant),
-            seed=seed,
-        )
-    else:
-        network = FabricNetwork(
-            config=config.network.copy(),
-            chaincode=config.build_chaincode(),
-            variant=create_variant(config.variant),
-            seed=seed,
-        )
+    network = build_network(
+        config=config.network,
+        chaincode_factory=config.build_chaincode,
+        variant_factory=config.variant,
+        seed=seed,
+    )
     record = network.run(
         mix=config.workload.mix,
         arrival_rate=config.arrival_rate,

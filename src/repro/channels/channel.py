@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.channels.topology import ChannelRouter, ShardedKeyDistribution
 from repro.ledger.block import Transaction, ValidationCode
+from repro.lifecycle.retry import ResubmissionGovernor
 from repro.network.network import ChannelRecord, FabricNetwork, RunRecord
 from repro.workload.distributions import KeyDistribution
 from repro.workload.spec import CrossChannelMix, TransactionMix
@@ -59,6 +60,7 @@ class Channel:
         key_distribution: Optional[KeyDistribution],
         shard: ShardedKeyDistribution,
         gateway: "ChannelGateway",
+        retry_governor: Optional[ResubmissionGovernor] = None,
     ) -> None:
         """Schedule this channel's client arrivals for the run."""
         self.gateway = gateway
@@ -70,6 +72,7 @@ class Channel:
             key_distribution=key_distribution,
             primary_distribution=shard,
             orderer=gateway,
+            retry_governor=retry_governor,
         )
 
     def collect(self, duration: float, workload_name: str) -> ChannelRecord:
@@ -97,8 +100,9 @@ class Channel:
 class ChannelGateway:
     """Client-facing front of a channel's ordering service.
 
-    Exposes the same ``submit`` / ``early_aborted`` surface as
-    :class:`~repro.network.orderer.OrderingService`, so
+    Implements the same :class:`~repro.lifecycle.stages.OrderingStage` seam
+    as :class:`~repro.network.orderer.OrderingService` (``submit`` /
+    ``abort_early`` / ``early_aborted``), so
     :class:`~repro.network.client_node.ClientNode` needs no channel awareness.
     """
 
@@ -121,6 +125,11 @@ class ChannelGateway:
     def early_aborted(self) -> List[Transaction]:
         """The channel's never-reached-a-block transactions (shared list)."""
         return self.channel.orderer.early_aborted
+
+    def abort_early(self, tx: Transaction, code: ValidationCode, reason=None) -> None:
+        """Terminally fail ``tx`` on this channel (stage-seam delegation)."""
+        tx.channel = self.channel.index
+        self.channel.orderer.abort_early(tx, code, reason)
 
     def submit(self, tx: Transaction) -> None:
         """Stamp the channel, maybe mark cross-channel, and route onwards."""

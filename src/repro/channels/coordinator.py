@@ -88,14 +88,18 @@ class CrossChannelCoordinator:
     # -------------------------------------------------------------- internals
     def _abort(self, tx: Transaction, home: Channel, keys: List[str]) -> None:
         conflicting = sorted(key for key in keys if (home.index, key) in self._locks)
-        tx.validation_code = ValidationCode.CROSS_CHANNEL_ABORT
-        tx.committed_at = self.sim.now
         tx.conflicting_key = conflicting[0] if conflicting else None
-        tx.abort_reason = (
-            f"cross-channel prepare lock conflict on {home.name}"
-            + (f" (key {conflicting[0]!r})" if conflicting else "")
+        # Routed through the ordering stage's early-abort seam so the abort
+        # emits the same ABORTED lifecycle event as every other failure path
+        # (and therefore feeds client resubmission like any other abort).
+        home.orderer.abort_early(
+            tx,
+            ValidationCode.CROSS_CHANNEL_ABORT,
+            reason=(
+                f"cross-channel prepare lock conflict on {home.name}"
+                + (f" (key {conflicting[0]!r})" if conflicting else "")
+            ),
         )
-        home.orderer.early_aborted.append(tx)
         self.aborted += 1
 
     def _release(self, tx: Transaction, home: Channel) -> None:

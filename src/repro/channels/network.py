@@ -41,10 +41,13 @@ from repro.chaincode.base import Chaincode
 from repro.errors import ConfigurationError
 from repro.ledger.block import Transaction
 from repro.ledger.ledger import Ledger
+from repro.lifecycle.events import LifecycleBus
+from repro.lifecycle.retry import ResubmissionGovernor
 from repro.network.config import NetworkConfig
-from repro.network.network import ChannelRecord, FabricNetwork, RunRecord
+from repro.network.network import FabricNetwork, RunRecord
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.sim.stats import mean
 from repro.workload.distributions import KeyDistribution
 from repro.workload.spec import CrossChannelMix, TransactionMix
 
@@ -72,6 +75,10 @@ class MultiChannelNetwork:
         self.seed = seed
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
+        #: Deployment-wide lifecycle event stream: every channel's own bus is
+        #: piped into this one, so cross-channel consumers (and the aggregate
+        #: record) observe a single stream.
+        self.bus = LifecycleBus()
         self.topology = ChannelTopology(
             channels=config.channels, placement=config.placement, hot_share=hot_share
         )
@@ -91,11 +98,17 @@ class MultiChannelNetwork:
                 sim=self.sim,
                 streams=self.streams.spawn(f"channel-{index}"),
             )
+            network.bus.pipe_to(self.bus)
             self.channels.append(
                 Channel(index=index, network=network, arrival_share=shares[index])
             )
         self.coordinator = CrossChannelCoordinator(
             sim=self.sim, channels=self.channels, rng=self.streams.stream("coordinator")
+        )
+        #: One governor for the whole deployment: the resubmission rate cap is
+        #: global, not per channel slice.
+        self.retry_governor = (
+            ResubmissionGovernor(config.retry.rate_cap) if config.retry.enabled else None
         )
 
     # -------------------------------------------------------------------- run
@@ -130,6 +143,7 @@ class MultiChannelNetwork:
                 key_distribution=key_distribution,
                 shard=shard,
                 gateway=gateway,
+                retry_governor=self.retry_governor,
             )
         self.sim.run_until_empty()
         return self._aggregate_record(arrival_rate, duration, workload_name)
@@ -168,21 +182,26 @@ class MultiChannelNetwork:
             read_only_skipped=read_only_skipped,
             simulated_end=self.sim.now,
             blocks_cut=sum(record.record.blocks_cut for record in channel_records),
-            orderer_utilization=_mean(
+            orderer_utilization=mean(
                 record.record.orderer_utilization for record in channel_records
             ),
-            mean_validation_utilization=_mean(
+            mean_validation_utilization=mean(
                 record.record.mean_validation_utilization for record in channel_records
             ),
-            mean_endorsement_utilization=_mean(
+            mean_endorsement_utilization=mean(
                 record.record.mean_endorsement_utilization for record in channel_records
             ),
             channel_records=channel_records,
+            lifecycle_counts=self.bus.counts_by_name(),
+            retry_policy=self.config.retry.policy,
+            resubmissions=sum(record.record.resubmissions for record in channel_records),
+            retries_exhausted=sum(
+                record.record.retries_exhausted for record in channel_records
+            ),
+            retry_budget_denied=sum(
+                record.record.retry_budget_denied for record in channel_records
+            ),
+            retry_rate_denied=sum(
+                record.record.retry_rate_denied for record in channel_records
+            ),
         )
-
-
-def _mean(values) -> float:
-    values = list(values)
-    if not values:
-        return 0.0
-    return sum(values) / len(values)

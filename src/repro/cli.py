@@ -23,11 +23,14 @@ library without writing Python:
     it), and print one table row per grid cell plus the runner's statistics.
 
 Every experiment command accepts the multi-channel flags ``--channels``,
-``--placement`` and ``--cross-channel-rate`` (see :mod:`repro.channels`) and a
-``--json`` flag that replaces the text tables with one machine-readable JSON
-document (configuration, failure breakdown, per-channel records, runner
-statistics).  Unknown names — variant, chaincode, cluster, figure id — are
-rejected with the list of valid choices and exit code 2.
+``--placement`` and ``--cross-channel-rate`` (see :mod:`repro.channels`), the
+client-retry flags ``--retry-policy``, ``--max-retries``, ``--retry-backoff``
+and ``--retry-rate-cap`` (see :mod:`repro.lifecycle.retry`) and a ``--json``
+flag that replaces the text tables with one machine-readable JSON document
+(configuration, failure breakdown, per-channel records, runner statistics).
+``repro --version`` prints the library version.  Unknown names — variant,
+chaincode, cluster, figure id, retry policy — are rejected with the list of
+valid choices and exit code 2.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ import json
 import sys
 from typing import Callable, List, Optional, Sequence
 
+from repro import __version__
 from repro.bench.experiments import EXPERIMENT_INDEX, PAPER_SCALE, QUICK_SCALE, STANDARD_SCALE
 from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
 from repro.bench.reporting import format_table
@@ -46,6 +50,7 @@ from repro.core.analyzer import ExperimentAnalysis
 from repro.core.recommendations import RecommendationEngine
 from repro.errors import ConfigurationError, ReproError
 from repro.fabric.variant import available_variants
+from repro.lifecycle.retry import RetryConfig, available_retry_policies
 from repro.network.config import CLUSTER_PRESETS, PLACEMENT_POLICIES, NetworkConfig
 
 from repro.workload.workloads import uniform_workload
@@ -78,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Why Do My Blockchain Transactions Fail?' (SIGMOD 2021)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -186,6 +194,36 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         help="fraction of transactions spanning a second channel (needs --channels >= 2)",
     )
     parser.add_argument(
+        "--retry-policy",
+        default="none",
+        type=_choice("retry policy", available_retry_policies()),
+        help="client reaction to failed transactions: none, immediate, fixed or jittered",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="resubmission attempts per failed transaction (with --retry-policy)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        help="base backoff delay in seconds for the fixed and jittered policies",
+    )
+    parser.add_argument(
+        "--retry-max-backoff",
+        type=float,
+        default=2.0,
+        help="upper bound in seconds on any single backoff delay",
+    )
+    parser.add_argument(
+        "--retry-rate-cap",
+        type=float,
+        default=None,
+        help="deployment-wide resubmission rate cap in 1/s (default: uncapped)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print one machine-readable JSON document instead of text tables",
@@ -204,6 +242,13 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
             channels=args.channels,
             placement=args.placement,
             cross_channel_rate=args.cross_channel_rate,
+            retry=RetryConfig(
+                policy=args.retry_policy,
+                max_retries=args.max_retries,
+                backoff=args.retry_backoff,
+                max_backoff=max(args.retry_max_backoff, args.retry_backoff),
+                rate_cap=args.retry_rate_cap,
+            ),
         ),
         arrival_rate=args.rate,
         duration=args.duration,
@@ -228,6 +273,10 @@ def _config_summary(config: ExperimentConfig) -> dict:
         "channels": network.channels,
         "placement": network.placement,
         "cross_channel_rate": network.cross_channel_rate,
+        "retry_policy": network.retry.policy,
+        "max_retries": network.retry.max_retries,
+        "retry_backoff": network.retry.backoff,
+        "retry_rate_cap": network.retry.rate_cap,
         "arrival_rate": config.arrival_rate,
         "duration": config.duration,
         "zipf_skew": config.zipf_skew,
@@ -247,6 +296,11 @@ def _analysis_summary(analysis: ExperimentAnalysis) -> dict:
         "blocks": metrics.blocks,
         "orderer_utilization": metrics.orderer_utilization,
         "failures": analysis.failure_report.as_dict(),
+        "client_effective_failure_pct": metrics.client_effective_failure_pct,
+        "goodput_tps": metrics.goodput,
+        "resubmissions": metrics.resubmissions,
+        "retry_amplification": metrics.retry_amplification,
+        "lifecycle_events": dict(analysis.record.lifecycle_counts),
     }
     if analysis.channel_analyses:
         summary["channels"] = [
@@ -304,6 +358,15 @@ def _command_run(args: argparse.Namespace) -> int:
     ]
     if args.channels > 1:
         rows.append(("cross-channel aborts (%)", report.cross_channel_abort_pct))
+    if config.network.retry.enabled:
+        rows.extend(
+            [
+                ("client-effective failures (%)", analysis.metrics.client_effective_failure_pct),
+                ("goodput (requests/s)", analysis.metrics.goodput),
+                ("resubmissions", analysis.metrics.resubmissions),
+                ("retry amplification (x)", analysis.metrics.retry_amplification),
+            ]
+        )
     print(format_table(("metric", "value"), rows, title="Experiment result"))
     if analysis.channel_analyses:
         channel_rows = [

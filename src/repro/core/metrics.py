@@ -139,11 +139,70 @@ class ExperimentMetrics:
     validation_utilization: float
     endorsement_utilization: float
     function_call_latency_ms: Dict[str, float] = field(default_factory=dict)
+    #: Client retry subsystem bookkeeping (see :mod:`repro.lifecycle.retry`).
+    retry_policy: str = "none"
+    resubmissions: int = 0
+    retries_exhausted: int = 0
+    retry_budget_denied: int = 0
+    retry_rate_denied: int = 0
+    #: Distinct logical client requests (resubmission attempts of the same
+    #: request collapse onto their first attempt's transaction id).
+    logical_requests: int = 0
+    #: Logical requests with at least one committed attempt.
+    committed_requests: int = 0
+    #: The horizon the throughput metrics divide by: the configured duration
+    #: or the last commit time, whichever is later.
+    measurement_horizon: float = 0.0
 
     @property
     def failure_pct(self) -> float:
-        """Total failed transactions in percent of the submitted transactions."""
+        """Total failed transactions in percent of the submitted transactions.
+
+        The *raw* (per-attempt) failure rate: every resubmitted attempt counts
+        again, exactly as the blockchain records it.
+        """
         return self.failure_report.total_failure_pct
+
+    @property
+    def client_effective_failure_pct(self) -> float:
+        """Logical requests that never committed, in percent.
+
+        The failure rate a client actually experiences once its retries are
+        accounted for: a request that fails twice and commits on the third
+        attempt is one success here, while it contributes two failures to the
+        raw :attr:`failure_pct`.
+        """
+        if self.logical_requests == 0:
+            return 0.0
+        failed = self.logical_requests - self.committed_requests
+        return 100.0 * failed / self.logical_requests
+
+    @property
+    def goodput(self) -> float:
+        """Committed *logical requests* per second.
+
+        Committed throughput counts every transaction appended to the chain —
+        including failed attempts and duplicate retries.  Goodput counts each
+        logical request at most once, so retry storms inflate committed
+        throughput but never goodput.  Divides by the same horizon as the
+        throughput metrics, so the two are directly comparable.
+        """
+        horizon = self.measurement_horizon or self.duration
+        if horizon <= 0:
+            return 0.0
+        return self.committed_requests / horizon
+
+    @property
+    def retry_amplification(self) -> float:
+        """Submitted attempts per logical request (1.0 = no retries).
+
+        The load-amplification factor of the retry policy: 2.0 means the
+        clients pushed twice as many attempts into the network as they had
+        requests — the signature of a retry storm.
+        """
+        if self.logical_requests == 0:
+            return 1.0
+        return self.submitted_transactions / self.logical_requests
 
 
 def _average_latency(transactions: Iterable[Transaction]) -> float:
@@ -164,6 +223,25 @@ def _function_call_latencies(transactions: Iterable[Transaction]) -> Dict[str, f
     return {
         operation: 1000.0 * totals[operation] / counts[operation] for operation in sorted(totals)
     }
+
+
+def _logical_requests(record: RunRecord) -> tuple[int, int]:
+    """``(logical_requests, committed_requests)`` of one run.
+
+    Resubmission attempts share their first attempt's transaction id as
+    ``origin_id``, so grouping by it collapses every retry chain onto one
+    logical request.  Read-only transactions answered locally are excluded,
+    mirroring the submitted-for-ordering count of the failure report.
+    """
+    skipped = {tx.tx_id for tx in record.read_only_skipped}
+    committed_by_origin: Dict[str, bool] = {}
+    for tx in record.transactions:
+        if tx.tx_id in skipped:
+            continue
+        committed_by_origin[tx.origin_id] = (
+            committed_by_origin.get(tx.origin_id, False) or tx.is_committed
+        )
+    return len(committed_by_origin), sum(committed_by_origin.values())
 
 
 def build_failure_report(
@@ -207,6 +285,7 @@ def compute_metrics(
     average_fill = (
         sum(block.size for ledger in ledgers for block in ledger) / blocks if blocks else 0.0
     )
+    logical_requests, committed_requests = _logical_requests(record)
     return ExperimentMetrics(
         variant=record.variant_name,
         chaincode=record.chaincode_name,
@@ -226,4 +305,12 @@ def compute_metrics(
         validation_utilization=record.mean_validation_utilization,
         endorsement_utilization=record.mean_endorsement_utilization,
         function_call_latency_ms=_function_call_latencies(record.transactions),
+        retry_policy=record.retry_policy,
+        resubmissions=record.resubmissions,
+        retries_exhausted=record.retries_exhausted,
+        retry_budget_denied=record.retry_budget_denied,
+        retry_rate_denied=record.retry_rate_denied,
+        logical_requests=logical_requests,
+        committed_requests=committed_requests,
+        measurement_horizon=horizon,
     )

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.core.analyzer import ExperimentAnalysis
-from repro.core.failures import FailureType
 from repro.network.config import DatabaseType
 
 
@@ -42,6 +41,8 @@ class RecommendationEngine:
         orderer_utilization_threshold: float = 0.8,
         cross_channel_threshold_pct: float = 1.0,
         channel_imbalance_threshold: float = 1.5,
+        retry_failure_threshold_pct: float = 10.0,
+        retry_amplification_threshold: float = 1.5,
     ) -> None:
         self.mvcc_threshold_pct = mvcc_threshold_pct
         self.endorsement_threshold_pct = endorsement_threshold_pct
@@ -50,6 +51,8 @@ class RecommendationEngine:
         self.orderer_utilization_threshold = orderer_utilization_threshold
         self.cross_channel_threshold_pct = cross_channel_threshold_pct
         self.channel_imbalance_threshold = channel_imbalance_threshold
+        self.retry_failure_threshold_pct = retry_failure_threshold_pct
+        self.retry_amplification_threshold = retry_amplification_threshold
 
     def recommend(self, analysis: ExperimentAnalysis) -> List[Recommendation]:
         """All recommendations triggered by this analysis."""
@@ -149,6 +152,7 @@ class RecommendationEngine:
             )
 
         self._channel_rules(analysis, recommendations)
+        self._retry_rules(analysis, recommendations)
 
         if analysis.record.config.delayed_orgs:
             recommendations.append(
@@ -224,6 +228,68 @@ class RecommendationEngine:
                             paper_section="Extension: multi-channel deployments",
                         )
                     )
+
+    def _retry_rules(
+        self, analysis: ExperimentAnalysis, recommendations: List[Recommendation]
+    ) -> None:
+        """Client retry/resubmission advice (see :mod:`repro.lifecycle.retry`)."""
+        report = analysis.failure_report
+        retry = analysis.record.config.retry
+        metrics = analysis.metrics
+        if not retry.enabled and report.total_failure_pct >= self.retry_failure_threshold_pct:
+            recommendations.append(
+                Recommendation(
+                    identifier="enable-retries",
+                    title="Resubmit failed transactions with jittered backoff",
+                    rationale=(
+                        f"{report.total_failure_pct:.1f}% of transactions fail and the "
+                        "clients never resubmit, so every failure is a lost request "
+                        "(client-effective failure rate equals the raw rate); a jittered "
+                        "backoff retry policy recovers most failed requests at a bounded "
+                        "load amplification."
+                    ),
+                    paper_section="Extension: client retry subsystem",
+                )
+            )
+        if (
+            retry.enabled
+            and retry.policy in ("immediate", "fixed")
+            and report.mvcc_pct >= self.mvcc_threshold_pct
+        ):
+            recommendations.append(
+                Recommendation(
+                    identifier="jittered-backoff",
+                    title="Decorrelate retries with jittered exponential backoff",
+                    rationale=(
+                        f"MVCC read conflicts dominate the failures ({report.mvcc_pct:.1f}%) "
+                        f"and the {retry.policy!r} retry policy resubmits every transaction "
+                        "of a failed batch (almost) simultaneously, re-creating the "
+                        "conflicting batch one retry later — especially under a skewed "
+                        "key distribution, where the resubmissions collide on the same "
+                        "hot keys; full-jitter exponential backoff spreads them apart."
+                    ),
+                    paper_section="Extension: client retry subsystem",
+                )
+            )
+        if (
+            retry.enabled
+            and retry.rate_cap is None
+            and metrics.retry_amplification >= self.retry_amplification_threshold
+        ):
+            recommendations.append(
+                Recommendation(
+                    identifier="retry-rate-cap",
+                    title="Cap the deployment-wide resubmission rate",
+                    rationale=(
+                        f"the clients submit {metrics.retry_amplification:.1f}x as many "
+                        "attempts as they have requests and no resubmission rate cap is "
+                        "configured — a retry storm that feeds the very contention it "
+                        "reacts to; a global rate cap (or a per-client budget) bounds the "
+                        "amplification while keeping most of the recovered requests."
+                    ),
+                    paper_section="Extension: client retry subsystem",
+                )
+            )
 
     @staticmethod
     def _read_only_share(analysis: ExperimentAnalysis) -> float:

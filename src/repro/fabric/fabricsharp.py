@@ -73,10 +73,13 @@ class FabricSharp(FabricVariantBehavior):
         """Serialize the batch; cycle members are aborted and never recorded."""
         serialized, aborted, edge_count = reorder_batch(block.transactions)
         for tx in aborted:
-            tx.validation_code = ValidationCode.EARLY_ABORT
-            tx.abort_reason = tx.abort_reason or "aborted by FabricSharp (conflict-graph cycle)"
-            tx.committed_at = orderer.sim.now
-            orderer.early_aborted.append(tx)
+            # Routed through the ordering stage's early-abort seam so the
+            # lifecycle bus observes the abort like every other failure path.
+            orderer.abort_early(
+                tx,
+                ValidationCode.EARLY_ABORT,
+                reason=tx.abort_reason or "aborted by FabricSharp (conflict-graph cycle)",
+            )
         block.transactions = serialized
         block.reordered = True
         read_count = sum(

@@ -12,15 +12,10 @@ where every transaction must be broadcast to 32 peers (paper Section 5.3).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
 from repro.fabric.variant import FabricVariantBehavior, register_variant
 from repro.ledger.block import Block, ValidationCode
 from repro.network.config import NetworkConfig
 from repro.network.endorsement import vscc_validation_cost
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.network.orderer import OrderingService
 
 
 class Streamchain(FabricVariantBehavior):

@@ -90,6 +90,13 @@ class Transaction:
     #: in the two-phase prepare/commit.
     channel: Optional[int] = None
     partner_channel: Optional[int] = None
+    #: Resubmission lineage: ``attempt`` counts how many times the same logical
+    #: request was already submitted (0 = first submission) and
+    #: ``origin_tx_id`` names the first attempt's transaction id (``None`` for
+    #: first attempts).  Set by the client retry subsystem
+    #: (:mod:`repro.lifecycle.retry`).
+    attempt: int = 0
+    origin_tx_id: Optional[str] = None
 
     # Execution phase -----------------------------------------------------
     submitted_at: float = 0.0
@@ -113,6 +120,11 @@ class Transaction:
 
     # Bookkeeping for per-function latency reporting (Table 4)
     db_call_latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def origin_id(self) -> str:
+        """Identifier of the logical client request this attempt belongs to."""
+        return self.origin_tx_id or self.tx_id
 
     @property
     def is_committed(self) -> bool:

@@ -1,0 +1,203 @@
+"""Typed transaction lifecycle events and the bus that carries them.
+
+Every transaction travels the Execute-Order-Validate pipeline; the
+:class:`LifecycleBus` turns that journey into an explicit, observable event
+stream — the shape related work on black-box lifecycle checking treats as
+first class.  Components *emit* at well-defined points (client submission,
+endorsement collection, block ordering, canonical validation, reference-peer
+commit, every early-abort path) and consumers *subscribe* without the
+emitting component knowing who listens.  The retry subsystem
+(:mod:`repro.lifecycle.retry`) is the first consumer: it resubmits failed
+transactions by listening for :attr:`LifecycleEventType.ABORTED`.
+
+Emission is synchronous and never touches the simulator or any RNG stream, so
+an idle bus (no subscribers) leaves a run bit-identical to one without the bus
+— the invariant behind the golden-record determinism tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.ledger.block import Transaction, ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.failures import FailureType
+
+
+class LifecycleEventType(enum.Enum):
+    """The observable stages of a transaction's life."""
+
+    #: A client sent the proposal to the endorsing peers (every attempt).
+    SUBMITTED = "submitted"
+    #: All endorsement responses were collected and their read sets agree.
+    ENDORSED = "endorsed"
+    #: All endorsement responses were collected but their read sets disagree
+    #: (the transaction is doomed to fail VSCC).
+    ENDORSEMENT_FAILED = "endorsement_failed"
+    #: The transaction left the ordering service inside a block.
+    ORDERED = "ordered"
+    #: Canonical validation assigned the transaction its validation code.
+    VALIDATED = "validated"
+    #: The reference peer committed the transaction as VALID (or the client
+    #: answered a read-only query locally).
+    COMMITTED = "committed"
+    #: The transaction terminally failed — any failure validation code at the
+    #: reference peer, or any early-abort path that never reaches a block.
+    ABORTED = "aborted"
+
+
+#: Validation codes mapped to the failure class an ABORTED event reports.
+#: Built on first use: importing :mod:`repro.core.failures` at module level
+#: would close an import cycle (core → analyzer → metrics → network → here).
+_CODE_TO_FAILURE: Dict[ValidationCode, "FailureType"] = {}
+
+
+def _code_to_failure() -> Dict[ValidationCode, "FailureType"]:
+    if not _CODE_TO_FAILURE:
+        from repro.core.failures import FailureType
+
+        _CODE_TO_FAILURE.update(
+            {
+                ValidationCode.ENDORSEMENT_POLICY_FAILURE: FailureType.ENDORSEMENT_POLICY,
+                ValidationCode.PHANTOM_READ_CONFLICT: FailureType.PHANTOM_READ,
+                ValidationCode.ABORTED_BY_REORDERING: FailureType.ORDERING_ABORT,
+                ValidationCode.EARLY_ABORT: FailureType.EARLY_ABORT,
+                ValidationCode.CROSS_CHANNEL_ABORT: FailureType.CROSS_CHANNEL_ABORT,
+            }
+        )
+    return _CODE_TO_FAILURE
+
+
+def failure_type_of(tx: Transaction) -> Optional["FailureType"]:
+    """The failure class of a failed transaction (``None`` if not failed).
+
+    MVCC conflicts are split into intra-/inter-block using the conflicting
+    block recorded by the validator, mirroring the post-hoc classifier's
+    Equations 3 and 4.
+    """
+    from repro.core.failures import FailureType
+
+    code = tx.validation_code
+    if code is None or code is ValidationCode.VALID:
+        return None
+    if code is ValidationCode.MVCC_READ_CONFLICT:
+        if tx.conflicting_block is not None and tx.conflicting_block == tx.block_number:
+            return FailureType.MVCC_INTRA_BLOCK
+        return FailureType.MVCC_INTER_BLOCK
+    return _code_to_failure()[code]
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One stage transition of one transaction."""
+
+    type: LifecycleEventType
+    time: float
+    transaction: Transaction
+    #: Failure class for ABORTED (and failed VALIDATED) events.
+    failure_type: Optional[FailureType] = None
+    #: Channel index for multi-channel runs (``None`` on the classic path).
+    channel: Optional[int] = None
+
+    @property
+    def attempt(self) -> int:
+        """Resubmission attempt of the transaction (0 = first submission)."""
+        return self.transaction.attempt
+
+
+#: A subscriber callback.
+LifecycleListener = Callable[[LifecycleEvent], None]
+
+
+def emit_event(
+    bus: Optional["LifecycleBus"],
+    event_type: LifecycleEventType,
+    time: float,
+    tx: Transaction,
+    failure_type: Optional["FailureType"] = None,
+) -> None:
+    """Emit one event for ``tx`` on ``bus`` (no-op without a bus).
+
+    The single emission helper behind every component: it stamps the
+    transaction's channel so emitters never have to, and keeps the event
+    shape in one place.
+    """
+    if bus is None:
+        return
+    bus.emit(
+        LifecycleEvent(
+            type=event_type,
+            time=time,
+            transaction=tx,
+            failure_type=failure_type,
+            channel=tx.channel,
+        )
+    )
+
+
+class LifecycleBus:
+    """Synchronous pub/sub channel for :class:`LifecycleEvent` streams.
+
+    Subscribers register for one event type or for all events; ``emit``
+    invokes them inline, in subscription order, on the emitter's stack.  The
+    bus also counts events per type, which :class:`~repro.network.network.RunRecord`
+    snapshots for observability and tests.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: Dict[LifecycleEventType, List[LifecycleListener]] = {}
+        self._all_listeners: List[LifecycleListener] = []
+        self.counts: Dict[LifecycleEventType, int] = {}
+
+    # ---------------------------------------------------------- subscription
+    def subscribe(
+        self, event_type: Optional[LifecycleEventType], listener: LifecycleListener
+    ) -> None:
+        """Register ``listener`` for one event type (or all when ``None``)."""
+        if event_type is None:
+            self._all_listeners.append(listener)
+        else:
+            self._listeners.setdefault(event_type, []).append(listener)
+
+    def unsubscribe(
+        self, event_type: Optional[LifecycleEventType], listener: LifecycleListener
+    ) -> None:
+        """Remove a previously registered listener (no-op when absent)."""
+        listeners = self._all_listeners if event_type is None else self._listeners.get(event_type, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    # -------------------------------------------------------------- emission
+    def emit(self, event: LifecycleEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, synchronously."""
+        self.counts[event.type] = self.counts.get(event.type, 0) + 1
+        for listener in tuple(self._listeners.get(event.type, ())):
+            listener(event)
+        for listener in tuple(self._all_listeners):
+            listener(event)
+
+    def pipe_to(self, parent: "LifecycleBus") -> None:
+        """Forward every event of this bus to ``parent`` as well.
+
+        The multi-channel deployment gives each channel its own bus and pipes
+        them all into one deployment-wide bus, so cross-channel consumers see
+        a single stream.
+        """
+        self.subscribe(None, parent.emit)
+
+    # ------------------------------------------------------------ inspection
+    def count(self, event_type: LifecycleEventType) -> int:
+        """Number of events of ``event_type`` emitted so far."""
+        return self.counts.get(event_type, 0)
+
+    def counts_by_name(self) -> Dict[str, int]:
+        """Event counts keyed by the event-type value (JSON-friendly)."""
+        return {event_type.value: count for event_type, count in sorted(
+            self.counts.items(), key=lambda pair: pair[0].value
+        )}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LifecycleBus(counts={self.counts_by_name()})"

@@ -7,21 +7,30 @@ of each selected organization, collects the responses, optionally checks their
 consistency (Section 2, step 3 — the mismatch is always recorded so that the
 validator can later flag the endorsement policy failure), and forwards the
 endorsed transaction to the ordering service.
+
+The client is the submission stage of the lifecycle pipeline: it emits
+``SUBMITTED`` / ``ENDORSED`` / ``ENDORSEMENT_FAILED`` (and ``COMMITTED`` for
+locally answered read-only queries) into the
+:class:`~repro.lifecycle.events.LifecycleBus`, and exposes :meth:`resubmit` —
+the entry point through which the retry subsystem
+(:mod:`repro.lifecycle.retry`) re-injects failed transactions as fresh
+attempts of the same logical request.
 """
 
 from __future__ import annotations
 
 import functools
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.chaincode.base import Chaincode
 from repro.ledger.block import EndorsementResponse, Transaction, ValidationCode, next_transaction_id
 from repro.ledger.rwset import read_sets_consistent
+from repro.lifecycle.events import LifecycleBus, LifecycleEventType, emit_event
+from repro.lifecycle.stages import OrderingStage
 from repro.network.config import NetworkConfig
 from repro.network.endorsement import PolicyNode
 from repro.network.latency import LatencyModel
-from repro.network.orderer import OrderingService
 from repro.network.organization import Organization
 from repro.network.peer import Peer
 from repro.sim.engine import Simulator
@@ -41,10 +50,11 @@ class ClientNode:
         workload: WorkloadGenerator,
         organizations: List[Organization],
         policy: PolicyNode,
-        orderer: OrderingService,
+        orderer: OrderingStage,
         latency: LatencyModel,
         arrival: ArrivalProcess,
         rng: random.Random,
+        bus: Optional[LifecycleBus] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -57,9 +67,15 @@ class ClientNode:
         self.latency = latency
         self.arrival = arrival
         self.rng = rng
+        self.bus = bus
         self.submitted: List[Transaction] = []
         self.read_only_skipped: List[Transaction] = []
+        self.resubmitted_count = 0
         self._expected_responses: Dict[str, int] = {}
+
+    # ---------------------------------------------------------------- events
+    def _emit(self, event_type: LifecycleEventType, tx: Transaction) -> None:
+        emit_event(self.bus, event_type, self.sim.now, tx)
 
     # ---------------------------------------------------------------- driving
     def start(self, duration: float) -> int:
@@ -84,7 +100,35 @@ class ClientNode:
             read_only=request.read_only,
             submitted_at=self.sim.now,
         )
+        self.submit_transaction(tx)
+
+    def resubmit(self, failed: Transaction) -> Transaction:
+        """Resubmit a failed transaction as a fresh attempt (retry subsystem).
+
+        The new attempt re-invokes the same chaincode function with the same
+        arguments but is a brand-new transaction to the network: new id, fresh
+        endorsement, fresh read set — exactly how a real client reacts to a
+        failure notification.
+        """
+        tx = Transaction(
+            tx_id=next_transaction_id(),
+            client_name=self.name,
+            chaincode_name=failed.chaincode_name,
+            function=failed.function,
+            args=failed.args,
+            read_only=failed.read_only,
+            submitted_at=self.sim.now,
+            attempt=failed.attempt + 1,
+            origin_tx_id=failed.origin_id,
+        )
+        self.resubmitted_count += 1
+        self.submit_transaction(tx)
+        return tx
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Send ``tx`` to one endorsing peer of each selected organization."""
         self.submitted.append(tx)
+        self._emit(LifecycleEventType.SUBMITTED, tx)
         endorsing_orgs = sorted(self.policy.select_orgs(self.rng))
         self._expected_responses[tx.tx_id] = len(endorsing_orgs)
         on_response = functools.partial(self._on_endorsement, tx)
@@ -111,20 +155,25 @@ class ClientNode:
         tx.endorsement_mismatch = not read_sets_consistent(
             endorsement.rwset for endorsement in tx.endorsements
         )
+        self._emit(
+            LifecycleEventType.ENDORSEMENT_FAILED
+            if tx.endorsement_mismatch
+            else LifecycleEventType.ENDORSED,
+            tx,
+        )
         if tx.read_only and not self.config.submit_read_only:
             # Client-design recommendation (Section 6.1): the query result is
             # already known after the execution phase, so the transaction is
             # not submitted for ordering and validation.
             tx.committed_at = self.sim.now
             self.read_only_skipped.append(tx)
+            self._emit(LifecycleEventType.COMMITTED, tx)
             return
         if self.config.client_side_check and tx.endorsement_mismatch:
             # Optional early check of step 3: the client detects the mismatch
             # and drops the doomed transaction instead of submitting it, saving
             # ordering and validation work.  It still counts as a failure.
-            tx.validation_code = ValidationCode.ENDORSEMENT_POLICY_FAILURE
-            tx.committed_at = self.sim.now
-            self.orderer.early_aborted.append(tx)
+            self.orderer.abort_early(tx, ValidationCode.ENDORSEMENT_POLICY_FAILURE)
             return
         delay = self.config.timing.client_processing + self.latency.one_way(None, None)
         self.sim.schedule(delay, self.orderer.submit, tx)

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.ledger.kvstore import COUCHDB_PROFILE, LEVELDB_PROFILE, DatabaseLatencyProfile
+from repro.lifecycle.retry import RetryConfig
 
 
 class DatabaseType(enum.Enum):
@@ -173,6 +174,10 @@ class NetworkConfig:
     #: Fraction of submitted transactions that additionally span a second
     #: channel and commit through the two-phase cross-channel coordinator.
     cross_channel_rate: float = 0.0
+    #: Client retry/resubmission behaviour (see :mod:`repro.lifecycle.retry`).
+    #: Off by default — with the default config the pipeline is bit-identical
+    #: to a deployment without the retry subsystem.
+    retry: RetryConfig = field(default_factory=RetryConfig)
     timing: TimingProfile = field(default_factory=TimingProfile)
 
     def __post_init__(self) -> None:
@@ -239,6 +244,7 @@ class NetworkConfig:
                 "cross-channel transactions need at least two channels "
                 f"(channels={self.channels}, cross_channel_rate={self.cross_channel_rate})"
             )
+        self.retry.validate()
 
     # ------------------------------------------------------------- accessors
     @property
@@ -267,4 +273,6 @@ class NetworkConfig:
                 f" channels={self.channels} placement={self.placement} "
                 f"cross={self.cross_channel_rate:.0%}"
             )
+        if self.retry.enabled:
+            summary += f" retry={self.retry.policy}x{self.retry.max_retries}"
         return summary

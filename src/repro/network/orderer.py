@@ -21,6 +21,12 @@ from typing import List, Optional
 
 from repro.ledger.block import Block, BlockCutReason, Transaction, ValidationCode
 from repro.ledger.ledger import Ledger
+from repro.lifecycle.events import (
+    LifecycleBus,
+    LifecycleEventType,
+    emit_event,
+    failure_type_of,
+)
 from repro.network.config import NetworkConfig
 from repro.network.latency import LatencyModel
 from repro.network.peer import Peer
@@ -30,7 +36,14 @@ from repro.sim.resources import ServiceStation
 
 
 class OrderingService:
-    """The (logical) ordering service of the Fabric network."""
+    """The (logical) ordering service of the Fabric network.
+
+    Implements the :class:`~repro.lifecycle.stages.OrderingStage` seam of the
+    lifecycle pipeline: clients call :meth:`submit`, every early-abort path
+    (variant rejection, client-side checks, cross-channel prepare conflicts)
+    goes through :meth:`abort_early`, and the service emits ``ORDERED`` /
+    ``COMMITTED`` / ``ABORTED`` events into the lifecycle bus.
+    """
 
     def __init__(
         self,
@@ -42,6 +55,7 @@ class OrderingService:
         ledger: Ledger,
         latency: LatencyModel,
         rng: random.Random,
+        bus: Optional[LifecycleBus] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -52,6 +66,7 @@ class OrderingService:
         self.ledger = ledger
         self.latency = latency
         self.rng = rng
+        self.bus = bus
         self.consensus_station = ServiceStation(sim, name="ordering-service", servers=1)
         self.reference_peer = peers[0]
         self.transactions_received = 0
@@ -62,15 +77,44 @@ class OrderingService:
         self._timeout_event: Optional[Event] = None
         self._next_block_number = 1
 
+    # ---------------------------------------------------------------- events
+    def emit(
+        self,
+        event_type: LifecycleEventType,
+        tx: Transaction,
+        failure_type=None,
+    ) -> None:
+        """Emit one lifecycle event for ``tx`` (no-op without a bus)."""
+        emit_event(self.bus, event_type, self.sim.now, tx, failure_type=failure_type)
+
+    def abort_early(
+        self,
+        tx: Transaction,
+        code: ValidationCode,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Terminally fail ``tx`` before it ever reaches a block.
+
+        The single early-abort path of the pipeline: FabricSharp's arrival and
+        reordering aborts, the client-side endorsement check and the
+        cross-channel coordinator's prepare conflicts all end here, so every
+        never-on-chain failure is recorded uniformly and emits the same
+        ``ABORTED`` lifecycle event that drives client resubmission.
+        """
+        tx.validation_code = code
+        if reason is not None:
+            tx.abort_reason = reason
+        tx.committed_at = self.sim.now
+        self.early_aborted.append(tx)
+        self.emit(LifecycleEventType.ABORTED, tx, failure_type=failure_type_of(tx))
+
     # ------------------------------------------------------------- submission
     def submit(self, tx: Transaction) -> None:
         """Receive an endorsed transaction from a client (step 3 -> step 4)."""
         tx.arrived_at_orderer_at = self.sim.now
         self.transactions_received += 1
         if not self.variant.on_transaction_arrival(tx, self):
-            tx.validation_code = ValidationCode.EARLY_ABORT
-            tx.committed_at = self.sim.now
-            self.early_aborted.append(tx)
+            self.abort_early(tx, ValidationCode.EARLY_ABORT)
             return
         self._pending.append(tx)
         self._pending_bytes += tx.estimated_size_bytes()
@@ -117,11 +161,12 @@ class OrderingService:
     # -------------------------------------------------------------- consensus
     def _consensus_done(self, block: Block) -> None:
         block.consensus_completed_at = self.sim.now
+        for tx in block.transactions:
+            tx.ordered_at = self.sim.now
+            self.emit(LifecycleEventType.ORDERED, tx)
         self.validator.validate_block(block)
         self.ledger.append(block)
         self.variant.after_block_validated(block, self)
-        for tx in block.transactions:
-            tx.ordered_at = self.sim.now
         for peer in self.peers:
             delay = self.latency.block_delivery(peer.org_index) + self.rng.uniform(
                 0.0, self.timing.delivery_jitter
@@ -132,6 +177,12 @@ class OrderingService:
         if peer is self.reference_peer:
             for tx in block.transactions:
                 tx.committed_at = self.sim.now
+                if tx.is_committed:
+                    self.emit(LifecycleEventType.COMMITTED, tx)
+                else:
+                    self.emit(
+                        LifecycleEventType.ABORTED, tx, failure_type=failure_type_of(tx)
+                    )
 
     # -------------------------------------------------------------- inspection
     @property

@@ -27,18 +27,31 @@ from typing import Dict, Optional, Tuple
 from repro.ledger.block import Block, Transaction, ValidationCode
 from repro.ledger.kvstore import Version, VersionedKVStore
 from repro.ledger.rwset import ReadWriteSet
+from repro.lifecycle.events import (
+    LifecycleBus,
+    LifecycleEventType,
+    emit_event,
+    failure_type_of,
+)
 
 
 class BlockValidator:
-    """Assigns validation codes to the transactions of each block in order."""
+    """Assigns validation codes to the transactions of each block in order.
 
-    def __init__(self, store: VersionedKVStore) -> None:
+    The validation stage of the lifecycle pipeline
+    (:class:`~repro.lifecycle.stages.ValidationStage`): when wired to a
+    :class:`~repro.lifecycle.events.LifecycleBus`, every transaction's verdict
+    is published as a ``VALIDATED`` event the moment it is assigned.
+    """
+
+    def __init__(self, store: VersionedKVStore, bus: Optional[LifecycleBus] = None) -> None:
         #: The canonical committed world state (same content as every peer's
         #: store once that peer has caught up).
         self.store = store
         #: Block number of the last write (or delete) applied to each key; used
         #: to attribute MVCC conflicts to the conflicting block.
         self._last_writer_block: Dict[str, int] = {}
+        self.bus = bus
 
     # ----------------------------------------------------------------- blocks
     def validate_block(self, block: Block) -> None:
@@ -46,13 +59,22 @@ class BlockValidator:
         for index, tx in enumerate(block.transactions):
             tx.block_number = block.number
             tx.tx_index = index
-            if tx.validation_code is ValidationCode.ABORTED_BY_REORDERING:
-                # Fabric++ aborted this transaction in the ordering phase; it is
-                # still recorded in the block but never validated or applied.
-                continue
-            tx.validation_code = self._validate_transaction(tx)
-            if tx.validation_code is ValidationCode.VALID:
-                self._apply_writes(tx, block.number, index)
+            if tx.validation_code is not ValidationCode.ABORTED_BY_REORDERING:
+                # Fabric++-aborted transactions are still recorded in the block
+                # but never validated or applied.
+                tx.validation_code = self._validate_transaction(tx)
+                if tx.validation_code is ValidationCode.VALID:
+                    self._apply_writes(tx, block.number, index)
+            self._emit_validated(tx)
+
+    def _emit_validated(self, tx: Transaction) -> None:
+        emit_event(
+            self.bus,
+            LifecycleEventType.VALIDATED,
+            tx.ordered_at if tx.ordered_at is not None else 0.0,
+            tx,
+            failure_type=failure_type_of(tx),
+        )
 
     # ----------------------------------------------------------- transactions
     def _validate_transaction(self, tx: Transaction) -> ValidationCode:

@@ -112,6 +112,19 @@ class TimeWeightedStats:
         return weighted / duration
 
 
+def mean(values: Iterable[float]) -> float:
+    """Plain arithmetic mean; an empty iterable yields 0.0.
+
+    The single shared definition behind the record aggregation of
+    :mod:`repro.network.network`, :mod:`repro.channels.network` and the
+    experiment reports (each used to carry its own copy).
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
 def percentile(values: List[float], fraction: float) -> float:
     """Linear-interpolation percentile of a list of samples.
 

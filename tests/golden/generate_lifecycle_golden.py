@@ -1,0 +1,97 @@
+"""Regenerate the lifecycle golden record (``lifecycle_golden.json``).
+
+The golden record pins the exact metrics of one small configuration per
+variant family (fabric / fabric++ / streamchain / fabricsharp) at one and four
+channels.  ``tests/test_golden_lifecycle.py`` asserts that every run of those
+configurations reproduces the pinned values *bit for bit* — the determinism
+contract behind the lifecycle pipeline refactor: with ``retry_policy="none"``
+the event bus, the stage seams and the shared build path must not perturb a
+single RNG draw or simulator event.
+
+The script deliberately uses only APIs that predate the lifecycle package
+(``ExperimentConfig`` + ``run_experiment`` with default network knobs), so the
+same file can run against a pre-refactor checkout to cross-check that the
+pinned values equal the old pipeline's output.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/generate_lifecycle_golden.py [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.network.config import NetworkConfig
+
+#: The four variant families of the paper's evaluation.
+VARIANTS = ("fabric-1.4", "fabric++", "streamchain", "fabricsharp")
+
+#: Channel counts per family: the classic path and the sharded path.
+CHANNEL_COUNTS = (1, 4)
+
+
+def golden_config(variant: str, channels: int) -> ExperimentConfig:
+    """The pinned small configuration of one golden cell."""
+    return ExperimentConfig(
+        variant=variant,
+        network=NetworkConfig(
+            cluster="C1",
+            database="leveldb",
+            block_size=10,
+            channels=channels,
+            # A cross-channel fraction on the sharded cells keeps the
+            # two-phase coordinator's abort path inside the contract.
+            cross_channel_rate=0.1 if channels > 1 else 0.0,
+        ),
+        arrival_rate=120.0,
+        duration=4.0,
+        zipf_skew=1.0,
+        repetitions=1,
+        seed=7,
+    )
+
+
+def golden_cell(variant: str, channels: int) -> dict:
+    """Run one golden cell and flatten its metrics to JSON data."""
+    config = golden_config(variant, channels)
+    result = run_experiment(config)
+    metrics = result.analyses[0].metrics
+    return {
+        "cell_hash": config.cell_hash(),
+        "submitted_transactions": metrics.submitted_transactions,
+        "committed_transactions": metrics.committed_transactions,
+        "blocks": metrics.blocks,
+        "average_block_fill": metrics.average_block_fill,
+        "average_latency": metrics.average_latency,
+        "committed_throughput": metrics.committed_throughput,
+        "successful_throughput": metrics.successful_throughput,
+        "orderer_utilization": metrics.orderer_utilization,
+        "validation_utilization": metrics.validation_utilization,
+        "endorsement_utilization": metrics.endorsement_utilization,
+        "failures": metrics.failure_report.as_dict(),
+    }
+
+
+def generate() -> dict:
+    """All golden cells, keyed ``<variant>/channels=<n>``."""
+    return {
+        f"{variant}/channels={channels}": golden_cell(variant, channels)
+        for variant in VARIANTS
+        for channels in CHANNEL_COUNTS
+    }
+
+
+def main(argv: list[str]) -> int:
+    out = Path(argv[1]) if len(argv) > 1 else Path(__file__).with_name("lifecycle_golden.json")
+    record = generate()
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(record)} golden cells to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -198,7 +198,6 @@ def test_aggregate_record_reports_the_variant_configured_parameters():
 
 
 def test_neighbor_partner_strategy_forms_a_ring():
-    from repro.chaincode import create_chaincode
     from repro.fabric.variant import create_variant
 
     experiment = channel_config(channels=3, cross_channel_rate=0.5, arrival_rate=150.0)

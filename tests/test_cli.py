@@ -264,3 +264,120 @@ def test_sweep_command_json_output(capsys):
     assert len(document["cells"]) == 2
     assert document["runner_stats"]["tasks_total"] == 2
     assert {cell["block_size"] for cell in document["cells"]} == {10, 30}
+
+
+# ----------------------------------------------------------------- versioning
+def test_version_flag_prints_the_single_sourced_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == f"repro {repro.__version__}"
+
+
+# -------------------------------------------------------------------- retries
+RUN_RETRY_ARGS = [
+    "run",
+    "--database",
+    "leveldb",
+    "--block-size",
+    "10",
+    "--rate",
+    "40",
+    "--skew",
+    "1.4",
+    "--duration",
+    "2",
+    "--retry-policy",
+    "jittered",
+    "--max-retries",
+    "2",
+]
+
+
+def test_run_command_prints_retry_metrics(capsys):
+    exit_code = main(RUN_RETRY_ARGS)
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "client-effective failures (%)" in captured.out
+    assert "goodput (requests/s)" in captured.out
+    assert "retry amplification (x)" in captured.out
+
+
+def test_run_command_json_includes_retry_and_lifecycle_fields(capsys):
+    exit_code = main(RUN_RETRY_ARGS + ["--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["config"]["retry_policy"] == "jittered"
+    assert document["config"]["max_retries"] == 2
+    result = document["result"]
+    assert result["resubmissions"] > 0
+    assert result["retry_amplification"] > 1.0
+    assert result["client_effective_failure_pct"] <= result["failures"]["total"]
+    assert result["lifecycle_events"]["submitted"] >= result["submitted_transactions"]
+
+
+def test_run_command_without_retries_omits_retry_rows(capsys):
+    exit_code = main(["run", "--database", "leveldb", "--rate", "40", "--duration", "2"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "client-effective failures (%)" not in captured.out
+
+
+def test_unknown_retry_policy_lists_valid_names_and_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--retry-policy", "chaotic"])
+    assert excinfo.value.code == 2
+    captured = capsys.readouterr()
+    assert "unknown retry policy" in captured.err
+    assert "fixed, immediate, jittered, none" in captured.err
+
+
+def test_run_command_with_zero_max_retries_omits_retry_rows(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--database",
+            "leveldb",
+            "--rate",
+            "40",
+            "--duration",
+            "2",
+            "--retry-policy",
+            "jittered",
+            "--max-retries",
+            "0",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    # max-retries 0 disables the subsystem entirely; no retry rows should
+    # imply otherwise.
+    assert "client-effective failures (%)" not in captured.out
+
+
+def test_retry_max_backoff_flag_lets_fixed_backoff_exceed_the_default_cap(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--database",
+            "leveldb",
+            "--rate",
+            "40",
+            "--duration",
+            "2",
+            "--retry-policy",
+            "fixed",
+            "--retry-backoff",
+            "3",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    # A backoff above the 2s default max_backoff must not be rejected: the
+    # CLI raises the cap to the backoff, and --retry-max-backoff raises it
+    # further for the jittered window.
+    assert "client-effective failures (%)" in captured.out

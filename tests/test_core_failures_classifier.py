@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.classifier import TransactionClassifier
 from repro.core.failures import (

@@ -5,14 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import run_experiment
-from repro.core.analyzer import LedgerAnalyzer
 from repro.core.failures import FailureType
 from repro.core.metrics import FailureReport, build_failure_report, compute_metrics
 from repro.core.classifier import ClassifiedTransaction
 from repro.core.recommendations import RecommendationEngine
 from repro.ledger.block import Transaction, ValidationCode
-from repro.network.config import NetworkConfig
-from repro.workload.workloads import uniform_workload
 
 
 # ----------------------------------------------------------------- FailureReport

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import pytest
 
 from repro.core.analyzer import ChannelAnalysis, ExperimentAnalysis
 from repro.core.failures import FailureType
@@ -18,6 +17,7 @@ from repro.core.metrics import ExperimentMetrics, FailureReport
 from repro.core.recommendations import RecommendationEngine
 from repro.ledger.block import Transaction
 from repro.ledger.ledger import Ledger
+from repro.lifecycle.retry import RetryConfig
 from repro.network.config import NetworkConfig
 from repro.network.network import RunRecord
 
@@ -214,3 +214,58 @@ def test_thresholds_are_configurable():
     analysis = make_analysis(counts={FailureType.MVCC_INTER_BLOCK: 3})
     assert "block-size" not in identifiers(analysis)
     assert "block-size" in identifiers(analysis, mvcc_threshold_pct=2.0)
+
+
+# ---------------------------------------------------------------- retry rules
+def test_enable_retries_rule_triggers_when_failures_are_lost():
+    lossy = make_analysis(counts={FailureType.MVCC_INTER_BLOCK: 15})
+    assert "enable-retries" in identifiers(lossy)
+    # Below the failure threshold there is little to recover.
+    quiet = make_analysis(counts={FailureType.MVCC_INTER_BLOCK: 5})
+    assert "enable-retries" not in identifiers(quiet)
+    # With retries already enabled the rule has nothing to recommend.
+    retrying = make_analysis(
+        counts={FailureType.MVCC_INTER_BLOCK: 15},
+        config=NetworkConfig(
+            cluster="C1", database="leveldb", retry=RetryConfig(policy="jittered")
+        ),
+    )
+    assert "enable-retries" not in identifiers(retrying)
+
+
+def test_jittered_backoff_rule_targets_synchronized_policies_under_mvcc():
+    def analysis_with(policy: str, mvcc: int) -> ExperimentAnalysis:
+        return make_analysis(
+            counts={FailureType.MVCC_INTER_BLOCK: mvcc},
+            config=NetworkConfig(
+                cluster="C1", database="leveldb", retry=RetryConfig(policy=policy)
+            ),
+        )
+
+    assert "jittered-backoff" in identifiers(analysis_with("immediate", 10))
+    assert "jittered-backoff" in identifiers(analysis_with("fixed", 10))
+    # Already decorrelated, or not MVCC-dominated: nothing to fix.
+    assert "jittered-backoff" not in identifiers(analysis_with("jittered", 10))
+    assert "jittered-backoff" not in identifiers(analysis_with("immediate", 2))
+
+
+def test_retry_rate_cap_rule_triggers_on_uncapped_amplification():
+    def analysis_with(amplification: float, rate_cap=None) -> ExperimentAnalysis:
+        analysis = make_analysis(
+            counts={FailureType.MVCC_INTER_BLOCK: 2},
+            config=NetworkConfig(
+                cluster="C1",
+                database="leveldb",
+                retry=RetryConfig(policy="immediate", rate_cap=rate_cap),
+            ),
+        )
+        # retry_amplification = submitted attempts / logical requests
+        analysis.metrics.logical_requests = int(
+            analysis.metrics.submitted_transactions / amplification
+        )
+        return analysis
+
+    assert "retry-rate-cap" in identifiers(analysis_with(2.0))
+    # Mild amplification, or a cap already in place: no storm to contain.
+    assert "retry-rate-cap" not in identifiers(analysis_with(1.1))
+    assert "retry-rate-cap" not in identifiers(analysis_with(2.0, rate_cap=25.0))

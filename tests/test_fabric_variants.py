@@ -233,6 +233,13 @@ class StubSharpOrderer:
         self.early_aborted = []
         self.sim = type("S", (), {"now": 0.0})()
 
+    def abort_early(self, tx, code, reason=None):
+        tx.validation_code = code
+        if reason is not None:
+            tx.abort_reason = reason
+        tx.committed_at = self.sim.now
+        self.early_aborted.append(tx)
+
 
 def test_fabricsharp_aborts_stale_reads_early():
     config = NetworkConfig(cluster="C1")

@@ -1,0 +1,71 @@
+"""Golden-record determinism: the lifecycle pipeline reproduces pinned metrics.
+
+One small configuration per variant family (fabric / fabric++ / streamchain /
+fabricsharp), at one and at four channels, is pinned bit-for-bit in
+``tests/golden/lifecycle_golden.json``.  The pinned values were generated from
+the pre-refactor pipeline (see ``tests/golden/generate_lifecycle_golden.py``),
+so these tests are the contract that the lifecycle refactor — the event bus,
+the stage seams, the shared build path, the retry plumbing with
+``retry_policy="none"`` — does not perturb a single RNG draw, simulator event
+or derived metric.
+
+Exact ``==`` comparisons on floats are deliberate: "close" is not
+deterministic, identical is.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+sys.path.insert(0, str(GOLDEN_DIR))
+
+from generate_lifecycle_golden import (  # noqa: E402
+    CHANNEL_COUNTS,
+    VARIANTS,
+    golden_cell,
+    golden_config,
+)
+
+GOLDEN = json.loads((GOLDEN_DIR / "lifecycle_golden.json").read_text())
+
+CELLS = [
+    (variant, channels) for variant in VARIANTS for channels in CHANNEL_COUNTS
+]
+
+
+def cell_key(variant: str, channels: int) -> str:
+    return f"{variant}/channels={channels}"
+
+
+def test_golden_record_covers_every_variant_family_at_both_channel_counts():
+    assert sorted(GOLDEN) == sorted(cell_key(variant, channels) for variant, channels in CELLS)
+
+
+@pytest.mark.parametrize(
+    "variant,channels", CELLS, ids=[cell_key(*cell) for cell in CELLS]
+)
+def test_pipeline_reproduces_golden_metrics_bit_for_bit(variant, channels):
+    expected = GOLDEN[cell_key(variant, channels)]
+    actual = golden_cell(variant, channels)
+    # Compare field by field so a regression names the metric that moved
+    # instead of dumping two large dictionaries.
+    assert sorted(actual) == sorted(expected)
+    for name in sorted(expected):
+        assert actual[name] == expected[name], (
+            f"{cell_key(variant, channels)}: {name} diverged from the golden record"
+        )
+
+
+def test_cell_hash_unchanged_by_default_retry_config():
+    # The retry field was added to NetworkConfig after the golden record was
+    # cut; a config that leaves retries at the default must keep its
+    # pre-retry cell hash (and therefore its per-repetition seeds and any
+    # cached results).
+    config = golden_config("fabric-1.4", 1)
+    assert config.cell_hash() == GOLDEN[cell_key("fabric-1.4", 1)]["cell_hash"]

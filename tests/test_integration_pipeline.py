@@ -103,7 +103,6 @@ def test_committed_state_reflects_only_valid_transactions(fabric14_analysis):
                 for write in tx.rwset.writes:
                     committed_writes[write.key] = (block.number, index, write)
     # Every committed write's version must match what the analyzer derives.
-    from repro.ledger.kvstore import Version
 
     for key, (block_number, index, write) in committed_writes.items():
         if write.is_delete:

@@ -7,7 +7,6 @@ are chosen generously so the assertions are robust to simulation noise.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import ExperimentConfig, run_experiment
 from repro.network.config import NetworkConfig
@@ -155,7 +154,6 @@ def test_fabricpp_does_not_rescue_chaincodes_with_large_range_queries():
     fabricpp_dv = run_experiment(
         config(variant="fabric++", workload=dv, arrival_rate=40, duration=4, block_size=50)
     )
-    fabric_ehr = run_experiment(config(arrival_rate=40, duration=4, block_size=50))
     fabricpp_ehr = run_experiment(
         config(variant="fabric++", arrival_rate=40, duration=4, block_size=50)
     )

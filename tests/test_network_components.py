@@ -20,7 +20,6 @@ from repro.network.latency import LatencyModel
 from repro.network.orderer import OrderingService
 from repro.network.peer import LaggedStateView, Peer
 from repro.network.validator import BlockValidator
-from repro.sim.engine import Simulator
 
 
 def tiny_config(**overrides) -> NetworkConfig:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ledger.block import Block, Transaction, ValidationCode
 from repro.ledger.kvstore import GENESIS_VERSION, Version, VersionedKVStore
