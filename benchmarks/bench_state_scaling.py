@@ -1,0 +1,169 @@
+"""State scaling: replica memory and wall-clock vs endorser count and state size.
+
+Quantifies the copy-on-write state layer (``repro.ledger.store``): every cell
+of a (peers x state-size) grid builds one genesis base plus N per-peer
+replicas and drives a batched block-commit workload through all of them, once
+with the legacy deep-copy representation (``base.copy()`` per peer plus a full
+``snapshot_versions()`` materialization per block, the pre-refactor FabricSharp
+snapshot cost) and once with shared-base overlays (``base.overlay()`` per peer
+plus O(changed-keys) epoch snapshots).
+
+The run records its trajectory to ``BENCH_state_scaling.json`` at the repo
+root and asserts the headline acceptance numbers: at 8 endorsing peers over
+the 100k-key genChain genesis the overlay representation must cut peak store
+memory by at least 4x and improve wall-clock time.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.ledger.factory import make_state_store
+from repro.ledger.kvstore import Version
+from repro.ledger.store import WriteBatch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_state_scaling.json"
+
+PEER_COUNTS = (1, 2, 4, 8)
+STATE_SIZES = (10_000, 50_000, 100_000)
+BLOCKS = 5
+WRITES_PER_BLOCK = 200
+
+
+def genesis_state(num_keys: int) -> dict:
+    """The genChain-shaped genesis population of ``num_keys`` records."""
+    return {f"gk{index:08d}": {"value": index, "writes": 0} for index in range(num_keys)}
+
+
+def build_base(num_keys: int):
+    base = make_state_store("leveldb")
+    base.populate(genesis_state(num_keys))
+    base.freeze()
+    return base
+
+
+def block_batch(block_number: int, num_keys: int) -> WriteBatch:
+    """One block's writes: updates, fresh inserts and a few deletes."""
+    batch = WriteBatch(block_number)
+    stride = max(1, num_keys // WRITES_PER_BLOCK)
+    for index in range(WRITES_PER_BLOCK):
+        key_index = (index * stride + block_number) % num_keys
+        batch.put(
+            f"gk{key_index:08d}",
+            {"value": key_index, "writes": block_number},
+            Version(block_number, index),
+        )
+    for index in range(10):
+        batch.put(
+            f"in{block_number:04d}_{index:04d}", {"value": index}, Version(block_number, index)
+        )
+    batch.delete(f"gk{(block_number * 17) % num_keys:08d}")
+    return batch
+
+
+def run_workload(base, peers: int, num_keys: int, mode: str) -> None:
+    """Build ``peers`` replicas and push BLOCKS batched commits through them.
+
+    ``mode`` selects the representation: ``deepcopy`` replicates the full
+    store per peer and materializes a full version snapshot per block (the
+    pre-refactor behavior); ``overlay`` layers copy-on-write stores over the
+    shared base and takes O(changed-keys) epoch snapshots.
+    """
+    if mode == "deepcopy":
+        replicas = [base.copy() for _ in range(peers)]
+    else:
+        replicas = [base.overlay() for _ in range(peers)]
+    for block_number in range(1, BLOCKS + 1):
+        for replica in replicas:
+            replica.apply_batch(block_batch(block_number, num_keys))
+            if mode == "deepcopy":
+                snapshot = replica.snapshot_versions()
+                del snapshot
+            else:
+                replica.snapshot(replica.commit_epoch - 1)
+        # A few reads per block keep the read path honest in both modes.
+        for replica in replicas:
+            for index in range(0, num_keys, max(1, num_keys // 50)):
+                replica.get(f"gk{index:08d}")
+            replica.range("gk00000000", "gk00000064")
+
+
+def measure_cell(base, peers: int, num_keys: int, mode: str) -> dict:
+    """Wall-clock (untraced) and peak traced memory of one grid cell."""
+    gc.collect()
+    started = time.perf_counter()
+    run_workload(base, peers, num_keys, mode)
+    elapsed = time.perf_counter() - started
+    gc.collect()
+    tracemalloc.start()
+    run_workload(base, peers, num_keys, mode)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"seconds": elapsed, "peak_bytes": peak}
+
+
+def test_state_scaling_grid_and_record():
+    rows = []
+    for num_keys in STATE_SIZES:
+        base = build_base(num_keys)
+        for peers in PEER_COUNTS:
+            deepcopy = measure_cell(base, peers, num_keys, "deepcopy")
+            overlay = measure_cell(base, peers, num_keys, "overlay")
+            rows.append(
+                {
+                    "peers": peers,
+                    "state_keys": num_keys,
+                    "deepcopy_peak_bytes": deepcopy["peak_bytes"],
+                    "overlay_peak_bytes": overlay["peak_bytes"],
+                    "memory_reduction": deepcopy["peak_bytes"] / max(1, overlay["peak_bytes"]),
+                    "deepcopy_seconds": deepcopy["seconds"],
+                    "overlay_seconds": overlay["seconds"],
+                    "speedup": deepcopy["seconds"] / max(1e-9, overlay["seconds"]),
+                }
+            )
+            print(
+                f"keys={num_keys:>7} peers={peers}: "
+                f"mem {deepcopy['peak_bytes'] / 1e6:8.1f}MB -> {overlay['peak_bytes'] / 1e6:7.1f}MB "
+                f"({rows[-1]['memory_reduction']:5.1f}x), "
+                f"time {deepcopy['seconds']:6.3f}s -> {overlay['seconds']:6.3f}s "
+                f"({rows[-1]['speedup']:5.1f}x)"
+            )
+        del base
+        gc.collect()
+
+    record = {
+        "benchmark": "state_scaling",
+        "grid": {
+            "peers": list(PEER_COUNTS),
+            "state_keys": list(STATE_SIZES),
+            "blocks": BLOCKS,
+            "writes_per_block": WRITES_PER_BLOCK,
+        },
+        "rows": rows,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Acceptance: >= 4x peak store-memory reduction and a wall-clock win at
+    # 8 endorsing peers over the 100k-key genesis.
+    headline = next(row for row in rows if row["peers"] == 8 and row["state_keys"] == 100_000)
+    assert headline["memory_reduction"] >= 4.0, headline
+    assert headline["overlay_seconds"] < headline["deepcopy_seconds"], headline
+
+    # A deep-copied replica costs O(state) each, so the deep-copy peak scales
+    # with the peer count; an overlay replica only costs its divergence, so
+    # the marginal cost of 7 extra overlay peers must be a small fraction of
+    # 7 extra deep copies.
+    peak_100k = {
+        row["peers"]: (row["deepcopy_peak_bytes"], row["overlay_peak_bytes"])
+        for row in rows
+        if row["state_keys"] == 100_000
+    }
+    assert peak_100k[8][0] > 4 * peak_100k[1][0]  # deep copies scale with peers
+    marginal_deepcopy = peak_100k[8][0] - peak_100k[1][0]
+    marginal_overlay = peak_100k[8][1] - peak_100k[1][1]
+    assert marginal_overlay * 4 < marginal_deepcopy

@@ -30,7 +30,7 @@ from repro.chaincode.api import ChaincodeStub
 from repro.core.adaptive import AdaptiveBlockSizeController
 from repro.lifecycle.retry import RetryConfig
 from repro.network.config import NetworkConfig
-from repro.network.network import make_state_store
+from repro.ledger.factory import make_state_store
 from repro.sim.stats import mean
 from repro.workload.spec import WorkloadSpec
 from repro.workload.workloads import read_update_uniform, synthetic_workload, uniform_workload

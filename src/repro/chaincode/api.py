@@ -14,15 +14,19 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import UnsupportedFeatureError
-from repro.ledger.couchdb import CouchDBStore, RichSelector
-from repro.ledger.kvstore import VersionedKVStore
+from repro.ledger.couchdb import RichSelector
 from repro.ledger.rwset import KeyRead, KeyWrite, RangeRead, ReadWriteSet
+from repro.ledger.store import StateStore
 
 
 class ChaincodeStub:
-    """Execution context handed to a chaincode function by an endorsing peer."""
+    """Execution context handed to a chaincode function by an endorsing peer.
 
-    def __init__(self, store: VersionedKVStore) -> None:
+    ``store`` is any :class:`~repro.ledger.store.StateStore` view — a concrete
+    backend, a peer's shared-base overlay, or FabricSharp's lagged snapshot.
+    """
+
+    def __init__(self, store: StateStore) -> None:
         self.store = store
         self.rwset = ReadWriteSet()
         self.execution_cost = 0.0
@@ -76,7 +80,7 @@ class ChaincodeStub:
         reads can never fail with a phantom read conflict — the paper flags the
         corresponding chaincode functions with ``RR*`` in Table 2.
         """
-        if not isinstance(self.store, CouchDBStore):
+        if not self.store.supports_rich_queries:
             raise UnsupportedFeatureError(
                 "GetQueryResult (rich queries) requires CouchDB as the state database"
             )

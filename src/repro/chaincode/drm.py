@@ -15,7 +15,6 @@ from typing import Any, Dict, Optional, Tuple
 from repro.chaincode.api import ChaincodeStub
 from repro.chaincode.base import Chaincode, IndexChooser, chaincode_function
 from repro.errors import KeyNotFoundError
-from repro.ledger.couchdb import CouchDBStore
 
 
 class DigitalRightsChaincode(Chaincode):
@@ -125,7 +124,7 @@ class DigitalRightsChaincode(Chaincode):
         re-validated, mirroring the ``RR*`` footnote of Table 2.
         """
         holder_name = self.holder_id(holder)
-        if isinstance(stub.store, CouchDBStore):
+        if stub.store.supports_rich_queries:
             results = stub.get_query_result({"holder": holder_name})
         else:
             results = stub.get_state_by_range("artwork_", "artwork_~")

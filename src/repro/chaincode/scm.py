@@ -20,7 +20,6 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.chaincode.api import ChaincodeStub
 from repro.chaincode.base import Chaincode, IndexChooser, chaincode_function
 from repro.errors import KeyNotFoundError
-from repro.ledger.couchdb import CouchDBStore
 
 
 class SupplyChainChaincode(Chaincode):
@@ -125,7 +124,7 @@ class SupplyChainChaincode(Chaincode):
         (``GetQueryResult``); on LevelDB the equivalent range scan is used but
         flagged as not re-validated, preserving the failure semantics.
         """
-        if isinstance(stub.store, CouchDBStore):
+        if stub.store.supports_rich_queries:
             results = stub.get_query_result({"lsp": lsp})
         else:
             prefix = f"unit_{lsp:03d}_"

@@ -1,6 +1,7 @@
 """One channel of a multi-channel deployment.
 
-A :class:`Channel` is a complete Fabric slice — its own ledger, state store,
+A :class:`Channel` is a complete Fabric slice — its own ledger, shared-base
+state store (one frozen genesis base with per-peer copy-on-write overlays),
 ordering service (and therefore block cutter), peers and endorsement policy —
 embedded as a :class:`~repro.network.network.FabricNetwork` that shares the
 deployment-wide :class:`~repro.sim.engine.Simulator` clock with its sibling

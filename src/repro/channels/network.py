@@ -25,7 +25,11 @@ Modeling notes:
 * Every channel carries the full genesis population; partitioning is enforced
   at the workload layer (a channel's clients draw primary entities from its
   shard only), matching how applications route traffic to channels while any
-  channel could technically host any key.
+  channel could technically host any key.  Within a channel the population is
+  stored once: the channel's slice populates one frozen base and its
+  validator state and endorsing peers layer copy-on-write overlays over it
+  (see :mod:`repro.ledger.store`), so channel count no longer multiplies by
+  peer count in state memory.
 * Keys freshly *inserted* by a workload commit on the submitting channel,
   whatever their hash — Fabric itself never re-homes a written key.
 """

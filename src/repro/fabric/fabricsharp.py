@@ -10,6 +10,13 @@ slightly more frequent because FabricSharp endorses against block snapshots
 that lag the freshest state (paper Section 5.4.1).  Aborted transactions are
 never recorded on the ledger, which is why the committed transaction
 throughput drops (Section 5.4.2).  Range queries are not supported.
+
+The lagging snapshots are :class:`~repro.ledger.store.LaggedStateView` s
+pinned to the peer store's pre-commit epoch: the store's pre-image journal
+supplies the snapshot at O(changed-keys) cost, replacing the full
+``snapshot_versions()`` materialization per block.  The arrival-time
+staleness check below reads the canonical store's committed versions (its
+last-writer index answers conflict attribution in O(1) per key).
 """
 
 from __future__ import annotations

@@ -27,7 +27,9 @@ class FabricVariantBehavior:
 
     #: Display name used in reports and figures.
     name = "Fabric 1.4"
-    #: FabricSharp endorses against a snapshot lagging one block behind.
+    #: FabricSharp endorses against a snapshot lagging one block behind
+    #: (served as an epoch-pinned :class:`~repro.ledger.store.LaggedStateView`
+    #: over the peer's overlay store).
     endorse_from_snapshot = False
     #: FabricSharp does not support range queries (paper Section 5.4).
     supports_range_queries = True

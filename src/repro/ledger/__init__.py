@@ -8,6 +8,10 @@ This package models Fabric's storage substrate:
   world state, plus per-operation latency profiles.
 * :mod:`repro.ledger.leveldb` / :mod:`repro.ledger.couchdb` — the two state
   database backends studied in the paper (embedded vs external REST database).
+* :mod:`repro.ledger.store` — the copy-on-write state layer: the
+  :class:`~repro.ledger.store.StateStore` protocol, shared-base overlay
+  stores, epoch snapshots and atomic write batches.
+* :mod:`repro.ledger.factory` — the state-database backend factory.
 * :mod:`repro.ledger.block` — transactions, validation codes and blocks.
 * :mod:`repro.ledger.ledger` — the append-only ledger that records committed
   blocks including failed transactions.
@@ -15,8 +19,10 @@ This package models Fabric's storage substrate:
 
 from repro.ledger.block import Block, BlockCutReason, Transaction, ValidationCode
 from repro.ledger.couchdb import CouchDBStore
+from repro.ledger.factory import make_state_store
 from repro.ledger.kvstore import (
     DatabaseLatencyProfile,
+    EpochCommitState,
     StateEntry,
     Version,
     VersionedKVStore,
@@ -24,6 +30,14 @@ from repro.ledger.kvstore import (
 from repro.ledger.leveldb import LevelDBStore
 from repro.ledger.ledger import Ledger
 from repro.ledger.rwset import KeyRead, KeyWrite, RangeRead, ReadWriteSet
+from repro.ledger.store import (
+    EpochSnapshot,
+    LaggedStateView,
+    MutableStateStore,
+    OverlayStateStore,
+    StateStore,
+    WriteBatch,
+)
 
 __all__ = [
     "Block",
@@ -32,13 +46,21 @@ __all__ = [
     "ValidationCode",
     "CouchDBStore",
     "DatabaseLatencyProfile",
+    "EpochCommitState",
+    "EpochSnapshot",
+    "LaggedStateView",
+    "MutableStateStore",
+    "OverlayStateStore",
     "StateEntry",
+    "StateStore",
     "Version",
     "VersionedKVStore",
+    "WriteBatch",
     "LevelDBStore",
     "Ledger",
     "KeyRead",
     "KeyWrite",
     "RangeRead",
     "ReadWriteSet",
+    "make_state_store",
 ]

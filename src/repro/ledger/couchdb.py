@@ -5,6 +5,11 @@ every state operation is roughly an order of magnitude slower than LevelDB and
 range reads are dramatically slower (Table 4: 88 ms vs 1.4 ms).  In exchange it
 supports *rich queries* over JSON document fields, which Fabric exposes through
 ``GetQueryResult`` but never re-validates (no phantom read detection).
+
+Only the concrete :class:`CouchDBStore` executes rich queries natively
+(``supports_rich_queries``); replicas derived from it — ``copy()`` clones and
+the shared-base overlays endorsing peers hold — fall back to range scans,
+preserving the endorsement-path semantics the simulation has always had.
 """
 
 from __future__ import annotations
@@ -19,31 +24,38 @@ from repro.ledger.kvstore import COUCHDB_PROFILE, StateEntry, VersionedKVStore
 RichSelector = Union[Dict[str, Any], Callable[[Any], bool]]
 
 
+def compile_selector(selector: RichSelector) -> Callable[[Any], bool]:
+    """Compile a rich-query selector into a predicate over stored values.
+
+    ``selector`` is either a dict of ``field == value`` constraints applied
+    to dict-valued documents (non-dict documents never match), or a callable
+    predicate receiving the stored value.
+    """
+    if callable(selector):
+        return selector
+    if isinstance(selector, dict):
+        constraints = dict(selector)
+
+        def predicate(value: Any) -> bool:
+            if not isinstance(value, dict):
+                return False
+            return all(value.get(field) == wanted for field, wanted in constraints.items())
+
+        return predicate
+    raise LedgerError(
+        f"rich query selector must be a dict or callable, got {type(selector).__name__}"
+    )
+
+
 class CouchDBStore(VersionedKVStore):
     """World-state store with the external CouchDB latency profile."""
+
+    supports_rich_queries = True
 
     def __init__(self) -> None:
         super().__init__(latency=COUCHDB_PROFILE)
 
     def rich_query(self, selector: RichSelector) -> List[Tuple[str, StateEntry]]:
-        """Evaluate a rich query over all documents.
-
-        ``selector`` is either a dict of ``field == value`` constraints applied
-        to dict-valued documents (non-dict documents never match), or a callable
-        predicate receiving the stored value.
-        """
-        if callable(selector):
-            predicate = selector
-        elif isinstance(selector, dict):
-            constraints = dict(selector)
-
-            def predicate(value: Any) -> bool:
-                if not isinstance(value, dict):
-                    return False
-                return all(value.get(field) == wanted for field, wanted in constraints.items())
-
-        else:
-            raise LedgerError(
-                f"rich query selector must be a dict or callable, got {type(selector).__name__}"
-            )
+        """Evaluate a rich query over all documents (see :func:`compile_selector`)."""
+        predicate = compile_selector(selector)
         return [(key, entry) for key, entry in self.items() if predicate(entry.value)]

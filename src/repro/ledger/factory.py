@@ -1,0 +1,34 @@
+"""State-database backend factory.
+
+Instantiating the configured world-state backend is a ledger concern; this
+module used to live (as a bare function) in :mod:`repro.network.network`,
+from where it is still re-exported for backward compatibility.  The factory
+deliberately accepts plain strings as well as the
+:class:`~repro.network.config.DatabaseType` enum so the ledger package never
+has to import upward from the network layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.ledger.couchdb import CouchDBStore
+from repro.ledger.kvstore import VersionedKVStore
+from repro.ledger.leveldb import LevelDBStore
+
+
+def make_state_store(database: Any) -> VersionedKVStore:
+    """Instantiate the configured state database backend.
+
+    ``database`` is either a ``DatabaseType`` enum member or its
+    (case-insensitive) string name, ``"leveldb"`` or ``"couchdb"``.
+    """
+    name = str(getattr(database, "value", database)).strip().lower()
+    if name == "couchdb":
+        return CouchDBStore()
+    if name == "leveldb":
+        return LevelDBStore()
+    raise ConfigurationError(
+        f"unknown database type {database!r}; expected 'leveldb' or 'couchdb'"
+    )

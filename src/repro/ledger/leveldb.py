@@ -15,6 +15,8 @@ from repro.ledger.kvstore import LEVELDB_PROFILE, VersionedKVStore
 class LevelDBStore(VersionedKVStore):
     """World-state store with the embedded LevelDB latency profile."""
 
+    supports_rich_queries = False
+
     def __init__(self) -> None:
         super().__init__(latency=LEVELDB_PROFILE)
 

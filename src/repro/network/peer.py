@@ -1,91 +1,41 @@
 """Peers: endorsement, validation and commit (paper Section 2, Figure 1).
 
-Endorsing peers simulate transactions against their *local* copy of the world
-state during the execution phase; every peer then validates and commits the
-blocks delivered by the ordering service.  Because each peer applies blocks at
-its own pace, the world-state replicas are transiently inconsistent — the root
-cause of endorsement policy failures (Section 3.2.1).
+Endorsing peers simulate transactions against their *local* replica of the
+world state during the execution phase; every peer then validates and commits
+the blocks delivered by the ordering service.  Because each peer applies
+blocks at its own pace, the world-state replicas are transiently inconsistent
+— the root cause of endorsement policy failures (Section 3.2.1).
+
+A replica is a copy-on-write :class:`~repro.ledger.store.OverlayStateStore`
+over the deployment's shared frozen genesis base: each peer only stores its
+own committed divergence, and block commits are applied as atomic
+:class:`~repro.ledger.store.WriteBatch` es (one commit epoch per block).
+FabricSharp's lagging snapshot endorsement is served by
+:class:`~repro.ledger.store.LaggedStateView` straight from the store's epoch
+journal.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.chaincode.api import ChaincodeStub
 from repro.chaincode.base import Chaincode
 from repro.errors import SimulationError
 from repro.ledger.block import Block, EndorsementResponse, Transaction, ValidationCode
-from repro.ledger.kvstore import StateEntry, Version, VersionedKVStore
+from repro.ledger.kvstore import Version
+from repro.ledger.store import LaggedStateView, MutableStateStore, StateStore, WriteBatch
 from repro.network.config import NetworkConfig
 from repro.sim.engine import Simulator
 from repro.sim.resources import ServiceStation
+
+__all__ = ["Peer", "LaggedStateView", "EndorsementCallback", "CommitCallback"]
 
 #: Callback invoked with ``(peer, response)`` once an endorsement completes.
 EndorsementCallback = Callable[["Peer", EndorsementResponse], None]
 #: Callback invoked with ``(peer, block)`` once a peer has committed a block.
 CommitCallback = Callable[["Peer", Block], None]
-
-
-class LaggedStateView:
-    """World-state view whose snapshot lags behind freshly committed blocks.
-
-    FabricSharp parallelises execution and validation using block snapshots
-    taken at the start of the execution phase; the stale snapshots increase the
-    chance of endorsement policy failures (paper Section 5.4.1).  The view
-    keeps the pre-images of the keys changed by the most recent block and keeps
-    serving them until a per-block, per-peer random refresh delay has elapsed,
-    after which the freshly committed state becomes visible.
-    """
-
-    def __init__(self, base: VersionedKVStore, sim: Simulator) -> None:
-        self.base = base
-        self.sim = sim
-        self._overlay: Dict[str, Optional[StateEntry]] = {}
-        self._visible_after = 0.0
-
-    @property
-    def latency(self):
-        """Latency profile of the underlying store."""
-        return self.base.latency
-
-    def refresh(self, pre_images: Dict[str, Optional[StateEntry]], visible_after: float) -> None:
-        """Install the pre-images of the newest block until ``visible_after``."""
-        self._overlay = dict(pre_images)
-        self._visible_after = visible_after
-
-    @property
-    def _stale(self) -> bool:
-        return self.sim.now < self._visible_after and bool(self._overlay)
-
-    # -------------------------------------------------- VersionedKVStore API
-    def get(self, key: str) -> Optional[StateEntry]:
-        if self._stale and key in self._overlay:
-            return self._overlay[key]
-        return self.base.get(key)
-
-    def get_version(self, key: str):
-        entry = self.get(key)
-        return entry.version if entry is not None else None
-
-    def get_value(self, key: str):
-        entry = self.get(key)
-        return entry.value if entry is not None else None
-
-    def range(self, start_key: str, end_key: str) -> List[Tuple[str, StateEntry]]:
-        merged = {key: entry for key, entry in self.base.range(start_key, end_key)}
-        if self._stale:
-            for key, entry in self._overlay.items():
-                if start_key <= key < end_key:
-                    if entry is None:
-                        merged.pop(key, None)
-                    else:
-                        merged[key] = entry
-        return sorted(merged.items())
-
-    def rich_query(self, selector):
-        """Rich queries fall back to the base store (FabricSharp does not support them)."""
-        return self.base.rich_query(selector)
 
 
 class Peer:
@@ -99,7 +49,7 @@ class Peer:
         config: NetworkConfig,
         variant,
         rng: random.Random,
-        store: Optional[VersionedKVStore] = None,
+        store: Optional[MutableStateStore] = None,
         is_endorser: bool = False,
     ) -> None:
         self.sim = sim
@@ -122,7 +72,7 @@ class Peer:
         self._lagged_view = LaggedStateView(store, sim) if store is not None else None
 
     # -------------------------------------------------------------- execution
-    def endorsement_state(self):
+    def endorsement_state(self) -> StateStore:
         """The state the chaincode executes against during endorsement."""
         if self.store is None:
             raise SimulationError(f"peer {self.name} is not an endorser and holds no state")
@@ -165,30 +115,33 @@ class Peer:
 
     def _commit_block(self, block: Block, on_committed: CommitCallback) -> None:
         if self.store is not None:
-            pre_images = self._apply_block(block)
+            self._apply_block(block)
             if self._lagged_view is not None:
                 snapshot_delay = self.rng.uniform(0.0, self.timing.sharp_snapshot_delay)
-                self._lagged_view.refresh(pre_images, visible_after=self.sim.now + snapshot_delay)
+                self._lagged_view.refresh(visible_after=self.sim.now + snapshot_delay)
         self.committed_height = block.number
         self.blocks_committed += 1
         on_committed(self, block)
 
-    def _apply_block(self, block: Block) -> Dict[str, Optional[StateEntry]]:
-        """Apply the write sets of the valid transactions; return the pre-images."""
+    def _apply_block(self, block: Block) -> None:
+        """Apply the write sets of the valid transactions as one atomic batch.
+
+        The batch commit bumps the store's epoch and journals the changed
+        keys' pre-images — which is exactly what the lagged snapshot view
+        then pins in :meth:`_commit_block`.
+        """
         assert self.store is not None
-        pre_images: Dict[str, Optional[StateEntry]] = {}
+        batch = WriteBatch(block.number)
         for index, tx in enumerate(block.transactions):
             if tx.validation_code is not ValidationCode.VALID or tx.rwset is None:
                 continue
             version = Version(block_number=block.number, tx_number=index)
             for write in tx.rwset.writes:
-                if write.key not in pre_images:
-                    pre_images[write.key] = self.store.get(write.key)
                 if write.is_delete:
-                    self.store.delete(write.key)
+                    batch.delete(write.key)
                 else:
-                    self.store.put(write.key, write.value, version)
-        return pre_images
+                    batch.put(write.key, write.value, version)
+        self.store.apply_batch(batch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         role = "endorser" if self.is_endorser else "committer"

@@ -3,9 +3,18 @@
 Every peer validates each block independently in Fabric, but because all peers
 receive the same blocks in the same order, they all reach identical validity
 decisions.  The simulator therefore computes the validation outcome once, on a
-canonical copy of the world state, when a block leaves the ordering service;
+canonical view of the world state, when a block leaves the ordering service;
 individual peers then only model the *time* their validation and commit take
 and apply the writes to their own store when they finish.
+
+The valid write sets of a block are staged into one
+:class:`~repro.ledger.store.WriteBatch` and applied to the canonical store
+atomically when the block finishes validating (one commit epoch per block).
+While the block validates, the batch doubles as the read-through delta:
+MVCC version checks and phantom range re-checks of later transactions see the
+staged writes of earlier valid transactions of the same block, which is what
+produces *intra-block* conflicts.  Conflict attribution uses the store's
+last-writer index (O(1) per key).
 
 The checks implement the failure definitions of paper Section 3:
 
@@ -22,11 +31,12 @@ The checks implement the failure definitions of paper Section 3:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.ledger.block import Block, Transaction, ValidationCode
-from repro.ledger.kvstore import Version, VersionedKVStore
+from repro.ledger.kvstore import Version
 from repro.ledger.rwset import ReadWriteSet
+from repro.ledger.store import _MISS, MutableStateStore, WriteBatch
 from repro.lifecycle.events import (
     LifecycleBus,
     LifecycleEventType,
@@ -44,28 +54,29 @@ class BlockValidator:
     is published as a ``VALIDATED`` event the moment it is assigned.
     """
 
-    def __init__(self, store: VersionedKVStore, bus: Optional[LifecycleBus] = None) -> None:
+    def __init__(self, store: MutableStateStore, bus: Optional[LifecycleBus] = None) -> None:
         #: The canonical committed world state (same content as every peer's
-        #: store once that peer has caught up).
+        #: store once that peer has caught up).  Typically an
+        #: :class:`~repro.ledger.store.OverlayStateStore` over the shared
+        #: frozen genesis base.
         self.store = store
-        #: Block number of the last write (or delete) applied to each key; used
-        #: to attribute MVCC conflicts to the conflicting block.
-        self._last_writer_block: Dict[str, int] = {}
         self.bus = bus
 
     # ----------------------------------------------------------------- blocks
     def validate_block(self, block: Block) -> None:
-        """Validate every transaction of ``block`` and apply the valid writes."""
+        """Validate every transaction of ``block`` and commit the valid writes."""
+        batch = WriteBatch(block.number)
         for index, tx in enumerate(block.transactions):
             tx.block_number = block.number
             tx.tx_index = index
             if tx.validation_code is not ValidationCode.ABORTED_BY_REORDERING:
                 # Fabric++-aborted transactions are still recorded in the block
                 # but never validated or applied.
-                tx.validation_code = self._validate_transaction(tx)
+                tx.validation_code = self._validate_transaction(tx, batch)
                 if tx.validation_code is ValidationCode.VALID:
-                    self._apply_writes(tx, block.number, index)
+                    self._stage_writes(tx, batch, block.number, index)
             self._emit_validated(tx)
+        self.store.apply_batch(batch)
 
     def _emit_validated(self, tx: Transaction) -> None:
         emit_event(
@@ -77,55 +88,74 @@ class BlockValidator:
         )
 
     # ----------------------------------------------------------- transactions
-    def _validate_transaction(self, tx: Transaction) -> ValidationCode:
+    def _validate_transaction(self, tx: Transaction, batch: WriteBatch) -> ValidationCode:
         if tx.rwset is None:
             # No endorsement ever completed; Fabric would reject this at VSCC.
             return ValidationCode.ENDORSEMENT_POLICY_FAILURE
         if tx.endorsement_mismatch:
             return ValidationCode.ENDORSEMENT_POLICY_FAILURE
-        mvcc = self._check_point_reads(tx.rwset)
+        mvcc = self._check_point_reads(tx.rwset, batch)
         if mvcc is not None:
             tx.conflicting_key, tx.conflicting_block = mvcc
             return ValidationCode.MVCC_READ_CONFLICT
-        phantom = self._check_range_reads(tx.rwset)
+        phantom = self._check_range_reads(tx.rwset, batch)
         if phantom is not None:
             tx.conflicting_key, tx.conflicting_block = phantom
             return ValidationCode.PHANTOM_READ_CONFLICT
         return ValidationCode.VALID
 
-    def _check_point_reads(self, rwset: ReadWriteSet) -> Optional[Tuple[str, Optional[int]]]:
+    def _check_point_reads(
+        self, rwset: ReadWriteSet, batch: WriteBatch
+    ) -> Optional[Tuple[str, Optional[int]]]:
         """Equation 2: every read version must still match the world state."""
         for read in rwset.reads:
-            current = self.store.get_version(read.key)
+            staged = batch.staged(read.key, _MISS)
+            if staged is _MISS:
+                current = self.store.get_version(read.key)
+            else:
+                current = staged.version if staged is not None else None
             if current != read.version:
-                return read.key, self._last_writer_block.get(read.key)
+                return read.key, self._attribute_writer(read.key, batch)
         return None
 
-    def _check_range_reads(self, rwset: ReadWriteSet) -> Optional[Tuple[str, Optional[int]]]:
+    def _check_range_reads(
+        self, rwset: ReadWriteSet, batch: WriteBatch
+    ) -> Optional[Tuple[str, Optional[int]]]:
         """Equation 5: re-execute phantom-checked ranges and compare results."""
         for range_read in rwset.range_reads:
             if not range_read.phantom_detection:
                 continue
             observed = {read.key: read.version for read in range_read.reads}
-            current_entries = self.store.range(range_read.start_key, range_read.end_key)
+            current_entries = batch.merge_range(
+                self.store.range(range_read.start_key, range_read.end_key),
+                range_read.start_key,
+                range_read.end_key,
+            )
             current = {key: entry.version for key, entry in current_entries}
             if observed == current:
                 continue
             changed = set(observed.items()) ^ set(current.items())
             conflicting_key = sorted(key for key, _version in changed)[0]
-            return conflicting_key, self._last_writer_block.get(conflicting_key)
+            return conflicting_key, self._attribute_writer(conflicting_key, batch)
         return None
 
-    # ------------------------------------------------------------------ apply
-    def _apply_writes(self, tx: Transaction, block_number: int, tx_index: int) -> None:
+    def _attribute_writer(self, key: str, batch: WriteBatch) -> Optional[int]:
+        """The block whose write conflicts with a read of ``key`` (O(1))."""
+        if key in batch:
+            return batch.block_number
+        return self.store.last_writer_block(key)
+
+    # ------------------------------------------------------------------ stage
+    def _stage_writes(
+        self, tx: Transaction, batch: WriteBatch, block_number: int, tx_index: int
+    ) -> None:
         assert tx.rwset is not None  # guaranteed by _validate_transaction
         version = Version(block_number=block_number, tx_number=tx_index)
         for write in tx.rwset.writes:
             if write.is_delete:
-                self.store.delete(write.key)
+                batch.delete(write.key)
             else:
-                self.store.put(write.key, write.value, version)
-            self._last_writer_block[write.key] = block_number
+                batch.put(write.key, write.value, version)
 
     # -------------------------------------------------------------- inspection
     def current_version(self, key: str) -> Optional[Version]:
@@ -134,4 +164,4 @@ class BlockValidator:
 
     def last_writer_block(self, key: str) -> Optional[int]:
         """Block number of the last committed write to ``key`` (None if never written)."""
-        return self._last_writer_block.get(key)
+        return self.store.last_writer_block(key)

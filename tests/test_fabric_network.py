@@ -45,6 +45,35 @@ def test_endorser_stores_are_populated_with_initial_state():
     assert len(network.validator.store) == 60
 
 
+def test_peer_states_are_overlays_over_one_shared_frozen_base():
+    from repro.ledger.store import OverlayStateStore
+
+    network = build_network()
+    assert network.state_base.frozen
+    assert isinstance(network.validator.store, OverlayStateStore)
+    assert network.validator.store.base is network.state_base
+    endorsers = [peer for peer in network.peers if peer.is_endorser]
+    for peer in endorsers:
+        assert isinstance(peer.store, OverlayStateStore)
+        assert peer.store.base is network.state_base
+        assert peer.store is not network.validator.store
+    # Before any block commits, no replica has diverged from the base.
+    assert all(peer.store.delta_size == 0 for peer in endorsers)
+
+
+def test_peer_overlays_only_store_their_divergence_after_a_run():
+    network = build_network()
+    spec = uniform_workload("EHR")
+    network.run(spec.mix, arrival_rate=40, duration=2.0)
+    base_size = len(network.state_base)
+    for peer in network.peers:
+        if peer.store is None:
+            continue
+        # The delta holds only written keys, a small fraction of the state.
+        assert peer.store.delta_size < base_size
+        assert peer.store.commit_epoch == peer.blocks_committed
+
+
 def test_run_produces_record_with_transactions():
     network = build_network()
     spec = uniform_workload("EHR")

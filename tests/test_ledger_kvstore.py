@@ -169,8 +169,12 @@ def test_couchdb_rich_query_rejects_bad_selector():
         store.rich_query(42)
 
 
-def test_profiles_advertise_rich_query_support():
-    assert COUCHDB_PROFILE.supports_rich_queries
-    assert not LEVELDB_PROFILE.supports_rich_queries
+def test_stores_advertise_rich_query_support():
+    # The capability lives on the store view, not the latency profile: only a
+    # concrete CouchDBStore executes rich queries natively; replicas derived
+    # from it (copies, overlays) do not, whatever profile they carry.
+    assert CouchDBStore().supports_rich_queries
+    assert not LevelDBStore().supports_rich_queries
+    assert not CouchDBStore().copy().supports_rich_queries
     assert LevelDBStore().latency is LEVELDB_PROFILE
     assert CouchDBStore().latency is COUCHDB_PROFILE

@@ -11,10 +11,11 @@ from repro.errors import SimulationError
 from repro.fabric.base import Fabric14
 from repro.fabric.streamchain import Streamchain
 from repro.ledger.block import BlockCutReason, Transaction, ValidationCode
-from repro.ledger.kvstore import GENESIS_VERSION, StateEntry, Version
+from repro.ledger.kvstore import GENESIS_VERSION, Version
 from repro.ledger.ledger import Ledger
 from repro.ledger.leveldb import LevelDBStore
 from repro.ledger.rwset import KeyRead, KeyWrite, ReadWriteSet
+from repro.ledger.store import WriteBatch
 from repro.network.config import NetworkConfig
 from repro.network.latency import LatencyModel
 from repro.network.orderer import OrderingService
@@ -111,26 +112,35 @@ def test_lagged_view_serves_pre_images_until_visible(sim):
     base = LevelDBStore()
     base.populate({"a": 1})
     view = LaggedStateView(base, sim)
-    base.put("a", 2, Version(1, 0))
-    view.refresh({"a": StateEntry(value=1, version=GENESIS_VERSION)}, visible_after=5.0)
+    batch = WriteBatch(block_number=1)
+    batch.put("a", 2, Version(1, 0))
+    base.apply_batch(batch)
+    view.refresh(visible_after=5.0)
+    # The pre-commit epoch stays visible until the refresh delay elapses.
     assert view.get_value("a") == 1
+    assert view.get_version("a") == GENESIS_VERSION
     sim.schedule(6.0, lambda: None)
     sim.run_until_empty()
     assert view.get_value("a") == 2
     assert view.latency is base.latency
 
 
-def test_lagged_view_range_merges_overlay(sim):
+def test_lagged_view_range_merges_pre_images(sim):
     base = LevelDBStore()
     base.populate({"a": 1, "b": 2})
     view = LaggedStateView(base, sim)
-    base.put("c", 3, Version(1, 0))
-    base.delete("b")
-    view.refresh(
-        {"c": None, "b": StateEntry(value=2, version=GENESIS_VERSION)}, visible_after=10.0
-    )
+    batch = WriteBatch(block_number=1)
+    batch.put("c", 3, Version(1, 0))
+    batch.delete("b")
+    base.apply_batch(batch)
+    view.refresh(visible_after=10.0)
+    # Inserted key "c" is hidden, deleted key "b" still served, until visible.
     keys = [key for key, _entry in view.range("a", "z")]
     assert keys == ["a", "b"]
+    sim.schedule(11.0, lambda: None)
+    sim.run_until_empty()
+    keys = [key for key, _entry in view.range("a", "z")]
+    assert keys == ["a", "c"]
 
 
 # ------------------------------------------------------------------ OrderingService

@@ -1,0 +1,152 @@
+"""Differential property tests: overlay stores vs deep-copy stores (hypothesis).
+
+The copy-on-write refactor's contract is that it changes how state views are
+*represented*, never what they contain.  These tests drive random
+interleavings of put / delete / range / batch-commit operations through a
+deep-copied :class:`~repro.ledger.kvstore.VersionedKVStore` (the old
+representation) and an :class:`~repro.ledger.store.OverlayStateStore` over a
+shared frozen base (the new one) and assert every observable — entries,
+versions, lengths, sorted key lists, range results and epoch pre-images —
+stays identical.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.kvstore import Version, VersionedKVStore
+from repro.ledger.store import OverlayStateStore, WriteBatch
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=4)
+values = st.integers(min_value=0, max_value=1000)
+
+
+@st.composite
+def initial_states(draw):
+    return draw(st.dictionaries(keys, values, max_size=25))
+
+
+@st.composite
+def scripts(draw):
+    """A random interleaving of put/delete/range/commit operations.
+
+    ``put`` and ``delete`` are staged into the current block's batch; a
+    ``commit`` applies the batch (exactly how block commits drive the store);
+    ``range`` queries interleave with the mutations.
+    """
+    count = draw(st.integers(min_value=0, max_value=40))
+    ops = []
+    for _index in range(count):
+        op = draw(st.sampled_from(["put", "put", "delete", "range", "commit"]))
+        if op == "put":
+            ops.append(("put", draw(keys), draw(values)))
+        elif op == "delete":
+            ops.append(("delete", draw(keys), None))
+        elif op == "range":
+            low, high = draw(keys), draw(keys)
+            ops.append(("range", min(low, high), max(low, high)))
+        else:
+            ops.append(("commit", None, None))
+    return ops
+
+
+def run_script(store, ops):
+    """Apply a script to one store; return the observations made along the way."""
+    observations = []
+    block_number = 0
+    batch = None
+    for op, first, second in ops:
+        if op == "put":
+            if batch is None:
+                batch = WriteBatch(block_number + 1)
+            batch.put(first, second, Version(block_number + 1, len(batch)))
+        elif op == "delete":
+            if batch is None:
+                batch = WriteBatch(block_number + 1)
+            batch.delete(first)
+        elif op == "range":
+            observations.append(
+                [(key, entry.value, entry.version) for key, entry in store.range(first, second)]
+            )
+        else:  # commit
+            if batch is not None:
+                block_number += 1
+                pre_images = store.apply_batch(batch)
+                observations.append(
+                    sorted(
+                        (key, entry.value if entry is not None else None)
+                        for key, entry in pre_images.items()
+                    )
+                )
+                batch = None
+    return observations
+
+
+def observable_state(store):
+    return {
+        "len": len(store),
+        "keys": store.keys(),
+        "iter_keys": list(store.iter_keys()),
+        "items": [(key, entry.value, entry.version) for key, entry in store.items()],
+        "versions": store.snapshot_versions(),
+        "epoch": store.commit_epoch,
+    }
+
+
+@given(initial_states(), scripts())
+@settings(max_examples=80, deadline=None)
+def test_overlay_store_is_observably_identical_to_deep_copy(initial, ops):
+    base = VersionedKVStore()
+    base.populate(initial)
+
+    deep_copy = base.copy()  # the old representation: a full deep copy
+    base.freeze()
+    overlay = base.overlay()  # the new one: copy-on-write over the shared base
+
+    copy_observations = run_script(deep_copy, ops)
+    overlay_observations = run_script(overlay, ops)
+
+    assert copy_observations == overlay_observations
+    assert observable_state(deep_copy) == observable_state(overlay)
+    # Per-key agreement, including keys neither store holds any more.
+    for key in set(initial) | {first for op, first, _ in ops if op in ("put", "delete")}:
+        assert deep_copy.get_value(key) == overlay.get_value(key)
+        assert deep_copy.get_version(key) == overlay.get_version(key)
+        assert deep_copy.last_writer_block(key) == overlay.last_writer_block(key)
+        assert (key in deep_copy) == (key in overlay)
+
+
+@given(initial_states(), scripts())
+@settings(max_examples=40, deadline=None)
+def test_overlay_epoch_snapshots_match_deep_copy_snapshots(initial, ops):
+    base = VersionedKVStore()
+    base.populate(initial)
+    deep_copy = base.copy()
+    base.freeze()
+    overlay = base.overlay()
+    run_script(deep_copy, ops)
+    run_script(overlay, ops)
+
+    newest = overlay.commit_epoch
+    oldest = max(0, newest - VersionedKVStore.journal_retention + 1)
+    for epoch in range(oldest, newest + 1):
+        copy_snapshot = deep_copy.snapshot(epoch)
+        overlay_snapshot = overlay.snapshot(epoch)
+        assert list(copy_snapshot.versions()) == list(overlay_snapshot.versions())
+        assert [
+            (key, entry.value, entry.version) for key, entry in copy_snapshot.range("a", "g")
+        ] == [(key, entry.value, entry.version) for key, entry in overlay_snapshot.range("a", "g")]
+
+
+@given(initial_states(), scripts())
+@settings(max_examples=40, deadline=None)
+def test_overlay_never_mutates_its_frozen_base(initial, ops):
+    base = VersionedKVStore()
+    base.populate(initial)
+    fingerprint = [(key, entry.value, entry.version) for key, entry in base.items()]
+    base.freeze()
+    overlay = base.overlay()
+    run_script(overlay, ops)
+    assert [(key, entry.value, entry.version) for key, entry in base.items()] == fingerprint
+    assert base.commit_epoch == 0
