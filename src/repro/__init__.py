@@ -45,6 +45,7 @@ from repro.core.metrics import ExperimentMetrics, FailureReport
 from repro.core.recommendations import Recommendation, RecommendationEngine
 from repro.errors import ReproError
 from repro.fabric import available_variants, create_variant
+from repro.faults import FaultConfig, FaultSchedule, parse_fault_spec
 from repro.lifecycle import (
     LifecycleBus,
     LifecycleEvent,
@@ -108,6 +109,9 @@ __all__ = [
     "ReproError",
     "available_variants",
     "create_variant",
+    "FaultConfig",
+    "FaultSchedule",
+    "parse_fault_spec",
     "LifecycleBus",
     "LifecycleEvent",
     "LifecycleEventType",

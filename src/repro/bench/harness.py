@@ -34,6 +34,7 @@ from repro.chaincode.base import Chaincode
 from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
 from repro.core.metrics import ExperimentMetrics
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultConfig
 from repro.lifecycle.pipeline import build_network
 from repro.lifecycle.retry import RetryConfig
 from repro.network.config import NetworkConfig
@@ -110,19 +111,19 @@ class ExperimentConfig:
 def _canonical(value):
     """Reduce ``value`` to JSON-serializable data with a stable ordering.
 
-    A disabled :class:`~repro.lifecycle.retry.RetryConfig` is omitted from
-    the payload: with retries off no controller, stream or event is ever
-    created, so every disabled config — the default, ``max_retries=0``, an
-    unused backoff tweak — describes the same experiment and must keep the
-    cell hash (and therefore the per-repetition seeds and every cached
-    result) it had before the retry subsystem existed.
+    A disabled :class:`~repro.lifecycle.retry.RetryConfig` or
+    :class:`~repro.faults.spec.FaultConfig` is omitted from the payload: with
+    the subsystem off no controller, stream or event is ever created, so every
+    disabled config — the default, an unused knob tweak — describes the same
+    experiment and must keep the cell hash (and therefore the per-repetition
+    seeds and every cached result) it had before the subsystem existed.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _canonical(getattr(value, field.name))
             for field in dataclasses.fields(value)
             if not (
-                isinstance(getattr(value, field.name), RetryConfig)
+                isinstance(getattr(value, field.name), (RetryConfig, FaultConfig))
                 and not getattr(value, field.name).enabled
             )
         }
@@ -241,6 +242,26 @@ class ExperimentResult:
     def cross_channel_abort_pct(self) -> float:
         """Average percentage of cross-channel transactions aborted in 2PC prepare."""
         return self._mean(lambda metric: metric.failure_report.cross_channel_abort_pct)
+
+    @property
+    def endorsement_timeout_pct(self) -> float:
+        """Average percentage of endorsement-collection timeouts (fault injection)."""
+        return self._mean(lambda metric: metric.failure_report.endorsement_timeout_pct)
+
+    @property
+    def orderer_unavailable_pct(self) -> float:
+        """Average percentage of submissions refused during orderer outages."""
+        return self._mean(lambda metric: metric.failure_report.orderer_unavailable_pct)
+
+    @property
+    def peer_unavailable_pct(self) -> float:
+        """Average percentage of proposals that failed fast on down peers."""
+        return self._mean(lambda metric: metric.failure_report.peer_unavailable_pct)
+
+    @property
+    def infrastructure_pct(self) -> float:
+        """Average percentage of all fault-induced failures."""
+        return self._mean(lambda metric: metric.failure_report.infrastructure_pct)
 
     @property
     def average_latency(self) -> float:

@@ -145,6 +145,13 @@ class ChannelGateway:
                 self.channel.index, self.rng, self.cross_channel.partner_strategy
             )
             self.cross_channel_submitted += 1
+            partner_faults = self.coordinator.channels[tx.partner_channel].network.faults
+            if partner_faults is not None and not partner_faults.orderer_available():
+                # The partner channel is partitioned or its orderer is down:
+                # the two-phase prepare cannot reach it, so the transaction
+                # fails fast as an infrastructure abort (see repro.faults).
+                self.channel.orderer.abort_early(tx, ValidationCode.ORDERER_UNAVAILABLE)
+                return
             self.coordinator.submit(tx, self.channel)
             return
         self.channel.orderer.submit(tx)

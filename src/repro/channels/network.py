@@ -101,6 +101,7 @@ class MultiChannelNetwork:
                 seed=seed,
                 sim=self.sim,
                 streams=self.streams.spawn(f"channel-{index}"),
+                channel_index=index,
             )
             network.bus.pipe_to(self.bus)
             self.channels.append(
@@ -208,4 +209,14 @@ class MultiChannelNetwork:
             retry_rate_denied=sum(
                 record.record.retry_rate_denied for record in channel_records
             ),
+            fault_injections=self._merge_fault_stats(channel_records),
         )
+
+    @staticmethod
+    def _merge_fault_stats(channel_records) -> dict:
+        """Sum every channel slice's fault-injection counters."""
+        merged: dict = {}
+        for record in channel_records:
+            for key, count in record.record.fault_injections.items():
+                merged[key] = merged.get(key, 0) + count
+        return dict(sorted(merged.items()))

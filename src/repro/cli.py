@@ -25,12 +25,15 @@ library without writing Python:
 Every experiment command accepts the multi-channel flags ``--channels``,
 ``--placement`` and ``--cross-channel-rate`` (see :mod:`repro.channels`), the
 client-retry flags ``--retry-policy``, ``--max-retries``, ``--retry-backoff``
-and ``--retry-rate-cap`` (see :mod:`repro.lifecycle.retry`) and a ``--json``
-flag that replaces the text tables with one machine-readable JSON document
-(configuration, failure breakdown, per-channel records, runner statistics).
-``repro --version`` prints the library version.  Unknown names — variant,
-chaincode, cluster, figure id, retry policy — are rejected with the list of
-valid choices and exit code 2.
+and ``--retry-rate-cap`` (see :mod:`repro.lifecycle.retry`), a ``--fault-spec``
+chaos profile (JSON object or inline DSL such as
+``peer-crash:rate=0.05,downtime=2;orderer-outage:start=5,duration=3`` — see
+:mod:`repro.faults`) and a ``--json`` flag that replaces the text tables with
+one machine-readable JSON document (configuration, failure breakdown,
+per-channel records, runner statistics).  ``repro --version`` prints the
+library version.  Unknown names — variant, chaincode, cluster, figure id,
+retry policy, fault type — are rejected with the list of valid choices and
+exit code 2.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ from repro.core.analyzer import ExperimentAnalysis
 from repro.core.recommendations import RecommendationEngine
 from repro.errors import ConfigurationError, ReproError
 from repro.fabric.variant import available_variants
+from repro.faults import FaultConfig, fault_config_summary, parse_fault_spec
 from repro.lifecycle.retry import RetryConfig, available_retry_policies
 from repro.network.config import CLUSTER_PRESETS, PLACEMENT_POLICIES, NetworkConfig
 
@@ -76,6 +80,19 @@ def _choice(kind: str, choices: Sequence[str]) -> Callable[[str], str]:
 
     parse.__name__ = kind  # nicer argparse usage strings
     return parse
+
+
+def _fault_spec(value: str) -> FaultConfig:
+    """argparse ``type`` for ``--fault-spec``: JSON or the inline fault DSL.
+
+    Parse errors (malformed JSON, unknown fault types — the latter listing
+    the valid kinds) surface as exit code 2, matching how unknown variant and
+    chaincode names are rejected.
+    """
+    try:
+        return parse_fault_spec(value)
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,6 +241,18 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         help="deployment-wide resubmission rate cap in 1/s (default: uncapped)",
     )
     parser.add_argument(
+        "--fault-spec",
+        type=_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "chaos profile as JSON or inline DSL, e.g. "
+            "'peer-crash:rate=0.05,downtime=2;orderer-outage:start=5,duration=3' "
+            "(kinds: peer-crash, endorser-slowdown, orderer-outage, partition, "
+            "endorsement-loss, endorsement-timeout)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print one machine-readable JSON document instead of text tables",
@@ -249,6 +278,7 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
                 max_backoff=max(args.retry_max_backoff, args.retry_backoff),
                 rate_cap=args.retry_rate_cap,
             ),
+            faults=args.fault_spec if args.fault_spec is not None else FaultConfig(),
         ),
         arrival_rate=args.rate,
         duration=args.duration,
@@ -277,6 +307,7 @@ def _config_summary(config: ExperimentConfig) -> dict:
         "max_retries": network.retry.max_retries,
         "retry_backoff": network.retry.backoff,
         "retry_rate_cap": network.retry.rate_cap,
+        "faults": fault_config_summary(network.faults) if network.faults.enabled else None,
         "arrival_rate": config.arrival_rate,
         "duration": config.duration,
         "zipf_skew": config.zipf_skew,
@@ -301,6 +332,7 @@ def _analysis_summary(analysis: ExperimentAnalysis) -> dict:
         "resubmissions": metrics.resubmissions,
         "retry_amplification": metrics.retry_amplification,
         "lifecycle_events": dict(analysis.record.lifecycle_counts),
+        "fault_injections": dict(metrics.fault_injections),
     }
     if analysis.channel_analyses:
         summary["channels"] = [
@@ -358,6 +390,22 @@ def _command_run(args: argparse.Namespace) -> int:
     ]
     if args.channels > 1:
         rows.append(("cross-channel aborts (%)", report.cross_channel_abort_pct))
+    if config.network.faults.enabled:
+        rows.extend(
+            [
+                ("endorsement timeouts (%)", report.endorsement_timeout_pct),
+                ("orderer unavailable (%)", report.orderer_unavailable_pct),
+                ("peer unavailable (%)", report.peer_unavailable_pct),
+                (
+                    "fault injections",
+                    sum(
+                        count
+                        for kind, count in analysis.metrics.fault_injections.items()
+                        if kind.endswith(("_crash", "_start"))
+                    ),
+                ),
+            ]
+        )
     if config.network.retry.enabled:
         rows.extend(
             [

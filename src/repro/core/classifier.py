@@ -55,14 +55,28 @@ class TransactionClassifier:
                     self._classify_failure(tx, block.number, committed_versions, last_writer)
                 )
         for tx in early_aborted:
-            if tx.validation_code is ValidationCode.ENDORSEMENT_POLICY_FAILURE:
-                failure_type = FailureType.ENDORSEMENT_POLICY
-            elif tx.validation_code is ValidationCode.CROSS_CHANNEL_ABORT:
-                failure_type = FailureType.CROSS_CHANNEL_ABORT
-            else:
-                failure_type = FailureType.EARLY_ABORT
-            classified.append(ClassifiedTransaction(tx=tx, failure_type=failure_type))
+            classified.append(
+                ClassifiedTransaction(tx=tx, failure_type=self._early_abort_type(tx))
+            )
         return classified
+
+    @staticmethod
+    def _early_abort_type(tx: Transaction) -> FailureType:
+        """The failure class of a transaction that never reached a block.
+
+        Shares the single code-to-class mapping of
+        :func:`repro.lifecycle.events.failure_type_of`, so the classifier and
+        the lifecycle event stream can never disagree; codes outside the
+        mapping (a custom variant's private abort code) fall back to the
+        generic early-abort class.
+        """
+        from repro.lifecycle.events import failure_type_of
+
+        try:
+            failure_type = failure_type_of(tx)
+        except KeyError:
+            return FailureType.EARLY_ABORT
+        return failure_type if failure_type is not None else FailureType.EARLY_ABORT
 
     # ------------------------------------------------------------------ rules
     def _classify_failure(

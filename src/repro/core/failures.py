@@ -40,11 +40,30 @@ class FailureType(enum.Enum):
     #: coordinator (a lock conflict during the prepare window; never reach a
     #: block — extension beyond the paper, see :mod:`repro.channels`).
     CROSS_CHANNEL_ABORT = "cross_channel_abort"
+    #: The client's endorsement-collection watchdog expired: an endorsement
+    #: was lost in transit or an endorser stalled past the timeout
+    #: (fault-injection extension, see :mod:`repro.faults`).
+    ENDORSEMENT_TIMEOUT = "endorsement_timeout"
+    #: The transaction was submitted while the slice's ordering service was
+    #: inside an outage window (fault-injection extension).
+    ORDERER_UNAVAILABLE = "orderer_unavailable"
+    #: A proposal failed fast against a crashed or partitioned endorsing peer
+    #: (fault-injection extension).
+    PEER_UNAVAILABLE = "peer_unavailable"
 
     @property
     def is_mvcc(self) -> bool:
         """True for the two MVCC read conflict classes."""
         return self in (FailureType.MVCC_INTRA_BLOCK, FailureType.MVCC_INTER_BLOCK)
+
+    @property
+    def is_infrastructure(self) -> bool:
+        """True for failures induced by injected faults, not data contention."""
+        return self in (
+            FailureType.ENDORSEMENT_TIMEOUT,
+            FailureType.ORDERER_UNAVAILABLE,
+            FailureType.PEER_UNAVAILABLE,
+        )
 
 
 def is_endorsement_policy_failure(read_sets: Iterable[ReadWriteSet]) -> bool:

@@ -36,8 +36,17 @@ class FailureReport:
         return 100.0 * self.count(failure_type) / self.total_transactions
 
     #: Failure classes whose transactions never reach a block: FabricSharp's
-    #: early aborts and the cross-channel coordinator's prepare aborts.
-    NEVER_ON_CHAIN = frozenset({FailureType.EARLY_ABORT, FailureType.CROSS_CHANNEL_ABORT})
+    #: early aborts, the cross-channel coordinator's prepare aborts, and the
+    #: three infrastructure classes of the fault-injection subsystem.
+    NEVER_ON_CHAIN = frozenset(
+        {
+            FailureType.EARLY_ABORT,
+            FailureType.CROSS_CHANNEL_ABORT,
+            FailureType.ENDORSEMENT_TIMEOUT,
+            FailureType.ORDERER_UNAVAILABLE,
+            FailureType.PEER_UNAVAILABLE,
+        }
+    )
 
     @property
     def recorded_failures(self) -> int:
@@ -107,6 +116,32 @@ class FailureReport:
         """Cross-channel transactions aborted by the 2PC prepare (multi-channel)."""
         return self.percentage(FailureType.CROSS_CHANNEL_ABORT)
 
+    @property
+    def endorsement_timeout_pct(self) -> float:
+        """Transactions lost to the endorsement-collection watchdog (faults)."""
+        return self.percentage(FailureType.ENDORSEMENT_TIMEOUT)
+
+    @property
+    def orderer_unavailable_pct(self) -> float:
+        """Transactions refused during an ordering-service outage (faults)."""
+        return self.percentage(FailureType.ORDERER_UNAVAILABLE)
+
+    @property
+    def peer_unavailable_pct(self) -> float:
+        """Proposals that failed fast against a down endorsing peer (faults)."""
+        return self.percentage(FailureType.PEER_UNAVAILABLE)
+
+    @property
+    def infrastructure_pct(self) -> float:
+        """All fault-induced failures (timeouts + orderer + peer unavailability).
+
+        Derived from :attr:`FailureType.is_infrastructure`, so a new
+        infrastructure failure class is counted here automatically.
+        """
+        return sum(
+            self.percentage(failure) for failure in FailureType if failure.is_infrastructure
+        )
+
     def as_dict(self) -> Dict[str, float]:
         """Percentages keyed by failure-type value (for reports and tests)."""
         summary = {failure.value: self.percentage(failure) for failure in FailureType}
@@ -150,6 +185,10 @@ class ExperimentMetrics:
     logical_requests: int = 0
     #: Logical requests with at least one committed attempt.
     committed_requests: int = 0
+    #: Fault-injection bookkeeping of the run: applied injections per
+    #: :class:`~repro.faults.schedule.FaultKind` value plus loss/deferral
+    #: counters (empty without an enabled fault config).
+    fault_injections: Dict[str, int] = field(default_factory=dict)
     #: The horizon the throughput metrics divide by: the configured duration
     #: or the last commit time, whichever is later.
     measurement_horizon: float = 0.0
@@ -312,5 +351,6 @@ def compute_metrics(
         retry_rate_denied=record.retry_rate_denied,
         logical_requests=logical_requests,
         committed_requests=committed_requests,
+        fault_injections=dict(record.fault_injections),
         measurement_horizon=horizon,
     )

@@ -43,6 +43,8 @@ class RecommendationEngine:
         channel_imbalance_threshold: float = 1.5,
         retry_failure_threshold_pct: float = 10.0,
         retry_amplification_threshold: float = 1.5,
+        peer_fault_threshold_pct: float = 1.0,
+        outage_threshold_pct: float = 0.5,
     ) -> None:
         self.mvcc_threshold_pct = mvcc_threshold_pct
         self.endorsement_threshold_pct = endorsement_threshold_pct
@@ -53,6 +55,8 @@ class RecommendationEngine:
         self.channel_imbalance_threshold = channel_imbalance_threshold
         self.retry_failure_threshold_pct = retry_failure_threshold_pct
         self.retry_amplification_threshold = retry_amplification_threshold
+        self.peer_fault_threshold_pct = peer_fault_threshold_pct
+        self.outage_threshold_pct = outage_threshold_pct
 
     def recommend(self, analysis: ExperimentAnalysis) -> List[Recommendation]:
         """All recommendations triggered by this analysis."""
@@ -153,6 +157,7 @@ class RecommendationEngine:
 
         self._channel_rules(analysis, recommendations)
         self._retry_rules(analysis, recommendations)
+        self._fault_rules(analysis, recommendations)
 
         if analysis.record.config.delayed_orgs:
             recommendations.append(
@@ -288,6 +293,49 @@ class RecommendationEngine:
                         "amplification while keeping most of the recovered requests."
                     ),
                     paper_section="Extension: client retry subsystem",
+                )
+            )
+
+    def _fault_rules(
+        self, analysis: ExperimentAnalysis, recommendations: List[Recommendation]
+    ) -> None:
+        """Chaos-resilience advice derived from fault-induced failure classes."""
+        report = analysis.failure_report
+        config = analysis.record.config
+        retry = config.retry
+        peer_fault_pct = report.peer_unavailable_pct + report.endorsement_timeout_pct
+        if peer_fault_pct >= self.peer_fault_threshold_pct:
+            recommendations.append(
+                Recommendation(
+                    identifier="endorsement-quorum-slack",
+                    title="Add endorsement quorum slack for crash-prone peers",
+                    rationale=(
+                        f"{peer_fault_pct:.2f}% of transactions fail because an endorsing "
+                        f"peer was down or its response timed out; with "
+                        f"{config.endorsers_per_org} endorser(s) per organization a single "
+                        "crash removes an organization from the quorum, so provision spare "
+                        "endorsers per org (endorsers_per_org + 1) or relax the policy to a "
+                        "quorum that tolerates one missing organization."
+                    ),
+                    paper_section="Extension: fault injection",
+                )
+            )
+        if (
+            not retry.enabled
+            and report.orderer_unavailable_pct >= self.outage_threshold_pct
+        ):
+            recommendations.append(
+                Recommendation(
+                    identifier="retry-under-outage",
+                    title="Enable jittered retries to ride out orderer blips",
+                    rationale=(
+                        f"{report.orderer_unavailable_pct:.2f}% of transactions were refused "
+                        "during ordering-service outage windows and the clients never "
+                        "resubmit, so every blip permanently loses its requests; a jittered "
+                        "backoff retry policy resubmits them after the outage at bounded "
+                        "extra load."
+                    ),
+                    paper_section="Extension: fault injection",
                 )
             )
 

@@ -31,6 +31,14 @@ class ValidationCode(enum.Enum):
     ordering by FabricSharp (these never reach a block);
     ``CROSS_CHANNEL_ABORT`` marks cross-channel transactions whose two-phase
     prepare failed at the coordinator (these never reach a block either).
+
+    The three infrastructure codes come from the fault-injection subsystem
+    (:mod:`repro.faults`) and also never reach a block:
+    ``PEER_UNAVAILABLE`` (a proposal failed fast against a crashed or
+    partitioned endorsing peer), ``ENDORSEMENT_TIMEOUT`` (the client's
+    endorsement-collection watchdog expired — a response was lost or an
+    endorser stalled past the timeout) and ``ORDERER_UNAVAILABLE`` (the
+    transaction was submitted during an ordering-service outage window).
     """
 
     VALID = "VALID"
@@ -40,6 +48,9 @@ class ValidationCode(enum.Enum):
     ABORTED_BY_REORDERING = "ABORTED_BY_REORDERING"
     EARLY_ABORT = "EARLY_ABORT"
     CROSS_CHANNEL_ABORT = "CROSS_CHANNEL_ABORT"
+    ENDORSEMENT_TIMEOUT = "ENDORSEMENT_TIMEOUT"
+    ORDERER_UNAVAILABLE = "ORDERER_UNAVAILABLE"
+    PEER_UNAVAILABLE = "PEER_UNAVAILABLE"
 
     @property
     def is_failure(self) -> bool:

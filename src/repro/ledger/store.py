@@ -103,26 +103,42 @@ class StateStore(Protocol):
     latency: DatabaseLatencyProfile
     supports_rich_queries: bool
 
-    def get(self, key: str) -> Optional[StateEntry]: ...
+    def get(self, key: str) -> Optional[StateEntry]:
+        """The entry stored under ``key`` (``None`` when absent)."""
+        ...
 
-    def get_version(self, key: str) -> Optional[Version]: ...
+    def get_version(self, key: str) -> Optional[Version]:
+        """The committed version of ``key`` (``None`` when absent)."""
+        ...
 
-    def get_value(self, key: str) -> Optional[Any]: ...
+    def get_value(self, key: str) -> Optional[Any]:
+        """The value stored under ``key`` (``None`` when absent)."""
+        ...
 
-    def range(self, start_key: str, end_key: str) -> List[Tuple[str, StateEntry]]: ...
+    def range(self, start_key: str, end_key: str) -> List[Tuple[str, StateEntry]]:
+        """All ``(key, entry)`` pairs with ``start_key <= key < end_key``, sorted."""
+        ...
 
-    def rich_query(self, selector: Any) -> List[Tuple[str, StateEntry]]: ...
+    def rich_query(self, selector: Any) -> List[Tuple[str, StateEntry]]:
+        """CouchDB-style selector query (empty on stores without rich queries)."""
+        ...
 
 
 @runtime_checkable
 class MutableStateStore(StateStore, Protocol):
     """A state store that also accepts writes and batched block commits."""
 
-    def put(self, key: str, value: Any, version: Version) -> None: ...
+    def put(self, key: str, value: Any, version: Version) -> None:
+        """Write ``value`` under ``key`` at ``version``."""
+        ...
 
-    def delete(self, key: str) -> None: ...
+    def delete(self, key: str) -> None:
+        """Remove ``key`` from the world state (no-op when absent)."""
+        ...
 
-    def apply_batch(self, batch: "WriteBatch") -> Dict[str, Optional[StateEntry]]: ...
+    def apply_batch(self, batch: "WriteBatch") -> Dict[str, Optional[StateEntry]]:
+        """Apply one block's writes atomically; returns the changed pre-images."""
+        ...
 
 
 class WriteBatch:
@@ -562,19 +578,23 @@ class LaggedStateView:
 
     # -------------------------------------------------------- StateStore API
     def get(self, key: str) -> Optional[StateEntry]:
+        """The entry under ``key`` as seen by the (possibly stale) snapshot."""
         if self._stale:
             return self._snapshot.get(key)
         return self.store.get(key)
 
     def get_version(self, key: str) -> Optional[Version]:
+        """The version under ``key`` as seen by the (possibly stale) snapshot."""
         entry = self.get(key)
         return entry.version if entry is not None else None
 
     def get_value(self, key: str) -> Optional[Any]:
+        """The value under ``key`` as seen by the (possibly stale) snapshot."""
         entry = self.get(key)
         return entry.value if entry is not None else None
 
     def range(self, start_key: str, end_key: str) -> List[Tuple[str, StateEntry]]:
+        """Range scan against the (possibly stale) snapshot view."""
         if self._stale:
             return self._snapshot.range(start_key, end_key)
         return self.store.range(start_key, end_key)

@@ -66,6 +66,9 @@ def _code_to_failure() -> Dict[ValidationCode, "FailureType"]:
                 ValidationCode.ABORTED_BY_REORDERING: FailureType.ORDERING_ABORT,
                 ValidationCode.EARLY_ABORT: FailureType.EARLY_ABORT,
                 ValidationCode.CROSS_CHANNEL_ABORT: FailureType.CROSS_CHANNEL_ABORT,
+                ValidationCode.ENDORSEMENT_TIMEOUT: FailureType.ENDORSEMENT_TIMEOUT,
+                ValidationCode.ORDERER_UNAVAILABLE: FailureType.ORDERER_UNAVAILABLE,
+                ValidationCode.PEER_UNAVAILABLE: FailureType.PEER_UNAVAILABLE,
             }
         )
     return _CODE_TO_FAILURE

@@ -24,6 +24,7 @@ import random
 from typing import Dict, List, Optional
 
 from repro.chaincode.base import Chaincode
+from repro.faults.controller import FaultController
 from repro.ledger.block import EndorsementResponse, Transaction, ValidationCode, next_transaction_id
 from repro.ledger.rwset import read_sets_consistent
 from repro.lifecycle.events import LifecycleBus, LifecycleEventType, emit_event
@@ -55,6 +56,7 @@ class ClientNode:
         arrival: ArrivalProcess,
         rng: random.Random,
         bus: Optional[LifecycleBus] = None,
+        faults: Optional[FaultController] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -68,6 +70,7 @@ class ClientNode:
         self.arrival = arrival
         self.rng = rng
         self.bus = bus
+        self.faults = faults
         self.submitted: List[Transaction] = []
         self.read_only_skipped: List[Transaction] = []
         self.resubmitted_count = 0
@@ -126,7 +129,15 @@ class ClientNode:
         return tx
 
     def submit_transaction(self, tx: Transaction) -> None:
-        """Send ``tx`` to one endorsing peer of each selected organization."""
+        """Send ``tx`` to one endorsing peer of each selected organization.
+
+        With fault injection enabled (:mod:`repro.faults`) three degraded
+        outcomes exist: a proposal to a crashed or partitioned peer fails
+        fast after the network delay (``PEER_UNAVAILABLE``), a proposal can
+        be silently lost in transit, and an endorsement-collection watchdog
+        times the transaction out (``ENDORSEMENT_TIMEOUT``) when responses
+        are lost or stalled endorsers exceed the deadline.
+        """
         self.submitted.append(tx)
         self._emit(LifecycleEventType.SUBMITTED, tx)
         endorsing_orgs = sorted(self.policy.select_orgs(self.rng))
@@ -135,7 +146,30 @@ class ClientNode:
         for org_index in endorsing_orgs:
             peer = self.organizations[org_index].pick_endorser(self.rng)
             delay = self.latency.one_way(None, peer.org_index)
+            if self.faults is not None:
+                if not self.faults.peer_available(peer.name):
+                    # Connection refused: the client learns one network hop
+                    # later and gives the transaction up immediately.
+                    self.sim.schedule(delay, self._on_peer_unreachable, tx)
+                    continue
+                if self.faults.endorsement_lost():
+                    continue  # vanishes in transit; the watchdog will fire
             self.sim.schedule(delay, peer.receive_proposal, tx, self.chaincode, on_response)
+        if self.faults is not None and self.faults.arms_endorsement_watchdog:
+            # Armed only for faults that can lose or stall an endorsement;
+            # an outage- or crash-only profile must never reclassify a merely
+            # congested endorsement queue as an infrastructure timeout.
+            self.sim.schedule(self.faults.endorsement_timeout, self._endorsement_timeout, tx)
+
+    def _on_peer_unreachable(self, tx: Transaction) -> None:
+        """A proposal hit a down peer; fail fast unless already resolved."""
+        if self._expected_responses.pop(tx.tx_id, None) is not None:
+            self.orderer.abort_early(tx, ValidationCode.PEER_UNAVAILABLE)
+
+    def _endorsement_timeout(self, tx: Transaction) -> None:
+        """The endorsement-collection watchdog fired; abort if still pending."""
+        if self._expected_responses.pop(tx.tx_id, None) is not None:
+            self.orderer.abort_early(tx, ValidationCode.ENDORSEMENT_TIMEOUT)
 
     # ------------------------------------------------------------ endorsement
     def _on_endorsement(self, tx: Transaction, peer: Peer, response: EndorsementResponse) -> None:
@@ -145,6 +179,10 @@ class ClientNode:
 
     def _collect_response(self, tx: Transaction, response: EndorsementResponse) -> None:
         """Execution phase, step 3: collect responses and submit for ordering."""
+        if tx.tx_id not in self._expected_responses:
+            # The transaction was already resolved — a fault path (timeout or
+            # unreachable peer) aborted it while this response was in flight.
+            return
         tx.endorsements.append(response)
         expected = self._expected_responses.get(tx.tx_id, 0)
         if len(tx.endorsements) < expected:

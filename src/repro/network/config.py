@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultConfig
 from repro.ledger.kvstore import COUCHDB_PROFILE, LEVELDB_PROFILE, DatabaseLatencyProfile
 from repro.lifecycle.retry import RetryConfig
 
@@ -178,6 +179,11 @@ class NetworkConfig:
     #: Off by default — with the default config the pipeline is bit-identical
     #: to a deployment without the retry subsystem.
     retry: RetryConfig = field(default_factory=RetryConfig)
+    #: Fault-injection chaos profile (see :mod:`repro.faults`).  Off by
+    #: default — with the default config no fault controller, RNG stream or
+    #: simulator event is ever created, keeping no-fault runs bit-identical
+    #: to a build without the fault subsystem.
+    faults: FaultConfig = field(default_factory=FaultConfig)
     timing: TimingProfile = field(default_factory=TimingProfile)
 
     def __post_init__(self) -> None:
@@ -245,6 +251,13 @@ class NetworkConfig:
                 f"(channels={self.channels}, cross_channel_rate={self.cross_channel_rate})"
             )
         self.retry.validate()
+        self.faults.validate()
+        for channel, _start, _duration in self.faults.partitions:
+            if channel >= self.channels:
+                raise ConfigurationError(
+                    f"partition window names channel {channel}, but the network has "
+                    f"only {self.channels} channel(s)"
+                )
 
     # ------------------------------------------------------------- accessors
     @property
@@ -275,4 +288,6 @@ class NetworkConfig:
             )
         if self.retry.enabled:
             summary += f" retry={self.retry.policy}x{self.retry.max_retries}"
+        if self.faults.enabled:
+            summary += f" faults={self.faults.describe()}"
         return summary

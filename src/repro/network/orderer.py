@@ -16,8 +16,11 @@ ordering/validation cost models (Streamchain's per-transaction streaming).
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import List, Optional
+
+from repro.faults.controller import FaultController
 
 from repro.ledger.block import Block, BlockCutReason, Transaction, ValidationCode
 from repro.ledger.ledger import Ledger
@@ -56,6 +59,7 @@ class OrderingService:
         latency: LatencyModel,
         rng: random.Random,
         bus: Optional[LifecycleBus] = None,
+        faults: Optional[FaultController] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -67,6 +71,7 @@ class OrderingService:
         self.latency = latency
         self.rng = rng
         self.bus = bus
+        self.faults = faults
         self.consensus_station = ServiceStation(sim, name="ordering-service", servers=1)
         self.reference_peer = peers[0]
         self.transactions_received = 0
@@ -111,6 +116,11 @@ class OrderingService:
     # ------------------------------------------------------------- submission
     def submit(self, tx: Transaction) -> None:
         """Receive an endorsed transaction from a client (step 3 -> step 4)."""
+        if self.faults is not None and not self.faults.orderer_available():
+            # Outage window (see repro.faults): the service refuses the
+            # submission outright; a retry policy can resubmit it later.
+            self.abort_early(tx, ValidationCode.ORDERER_UNAVAILABLE)
+            return
         tx.arrived_at_orderer_at = self.sim.now
         self.transactions_received += 1
         if not self.variant.on_transaction_arrival(tx, self):
@@ -131,6 +141,15 @@ class OrderingService:
     def _cut_block(self, reason: BlockCutReason) -> None:
         if not self._pending:
             self._timeout_event = None
+            return
+        if self.faults is not None and not self.faults.orderer_available():
+            # The orderer is down: park this cut until service is restored.
+            # New submissions abort during the outage, so the pending batch is
+            # static and one deferred cut drains all of it.
+            if self._timeout_event is not None:
+                self._timeout_event.cancel()
+                self._timeout_event = None
+            self.faults.on_orderer_restored = functools.partial(self._cut_block, reason)
             return
         if self._timeout_event is not None:
             self._timeout_event.cancel()

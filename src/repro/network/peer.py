@@ -17,12 +17,14 @@ journal.
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Callable, Optional
 
 from repro.chaincode.api import ChaincodeStub
 from repro.chaincode.base import Chaincode
 from repro.errors import SimulationError
+from repro.faults.controller import FaultController
 from repro.ledger.block import Block, EndorsementResponse, Transaction, ValidationCode
 from repro.ledger.kvstore import Version
 from repro.ledger.store import LaggedStateView, MutableStateStore, StateStore, WriteBatch
@@ -51,6 +53,7 @@ class Peer:
         rng: random.Random,
         store: Optional[MutableStateStore] = None,
         is_endorser: bool = False,
+        faults: Optional[FaultController] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -62,6 +65,7 @@ class Peer:
         self.rng = rng
         self.store = store
         self.is_endorser = is_endorser
+        self.faults = faults
         self.committed_height = 0
         self.endorsements_served = 0
         self.blocks_committed = 0
@@ -93,6 +97,10 @@ class Peer:
         service_time = (
             stub.execution_cost + self.timing.endorsement_overhead
         ) * self.config.resource_factor
+        if self.faults is not None:
+            # A slowdown episode (repro.faults) stretches this endorsement;
+            # past the client's watchdog it becomes an ENDORSEMENT_TIMEOUT.
+            service_time *= self.faults.endorsement_factor(self.name)
         response = EndorsementResponse(
             peer_name=self.name, org_name=self.org_name, rwset=stub.rwset, completed_at=0.0
         )
@@ -106,7 +114,19 @@ class Peer:
 
     # ------------------------------------------------------------- validation
     def deliver_block(self, block: Block, on_committed: CommitCallback) -> None:
-        """Validation phase, steps 6-8: validate, commit and update the state."""
+        """Validation phase, steps 6-8: validate, commit and update the state.
+
+        A crashed peer (see :mod:`repro.faults`) cannot receive blocks; the
+        delivery is parked with the fault controller and replayed in arrival
+        order at recovery — which is exactly the catch-up lag that widens the
+        world-state inconsistency window and with it the endorsement policy
+        failure rate.
+        """
+        if self.faults is not None and self.faults.peer_crashed(self.name):
+            self.faults.defer_block_delivery(
+                self.name, functools.partial(self.deliver_block, block, on_committed)
+            )
+            return
         base_time = self.variant.validation_service_time(block, self.config)
         jitter = self.timing.validation_jitter
         jitter_factor = 1.0 + self.rng.uniform(-jitter, jitter)

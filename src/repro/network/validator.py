@@ -27,6 +27,13 @@ The checks implement the failure definitions of paper Section 3:
 * Phantom read conflict — re-executing a range query returns a different set of
   keys or versions (Equation 5).  Rich queries are not re-executed and can
   therefore never fail this check.
+
+Fault injection (:mod:`repro.faults`) never changes the validation verdicts
+themselves: the three infrastructure failure classes abort transactions
+*before* they reach a block, so canonical validation only ever sees the
+survivors.  What faults do change arrives indirectly — crashed peers defer
+their commits and endorse from staler replicas, which surfaces here as
+additional endorsement policy failures.
 """
 
 from __future__ import annotations

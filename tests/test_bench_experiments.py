@@ -7,6 +7,7 @@ import pytest
 from repro.bench import paper_data
 from repro.bench.experiments import (
     EXPERIMENT_INDEX,
+    EXPERIMENT_SPECS,
     PAPER_SCALE,
     QUICK_SCALE,
     STANDARD_SCALE,
@@ -52,6 +53,17 @@ def test_experiment_index_covers_every_table_and_figure():
     assert {"ablation-adaptive", "ablation-readonly", "ablation-client-check"} <= set(
         EXPERIMENT_INDEX
     )
+    assert {"fault-resilience", "fault-retry"} <= set(EXPERIMENT_INDEX)
+
+
+def test_experiment_specs_mirror_the_index():
+    # The generated docs/EXPERIMENTS.md catalog joins the two registries, so
+    # they must agree key for key (the CI docs-sync check enforces the same).
+    assert sorted(EXPERIMENT_SPECS) == sorted(EXPERIMENT_INDEX)
+    for spec in EXPERIMENT_SPECS.values():
+        assert spec.artefact
+        assert spec.sweep_axes
+        assert spec.expected_trend
 
 
 def test_scaled_workload_applies_population_sizes():

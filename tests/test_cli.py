@@ -381,3 +381,84 @@ def test_retry_max_backoff_flag_lets_fixed_backoff_exceed_the_default_cap(capsys
     # CLI raises the cap to the backoff, and --retry-max-backoff raises it
     # further for the jittered window.
     assert "client-effective failures (%)" in captured.out
+
+
+# ------------------------------------------------------------------- faults
+RUN_FAULT_ARGS = [
+    "run",
+    "--database",
+    "leveldb",
+    "--block-size",
+    "10",
+    "--rate",
+    "60",
+    "--duration",
+    "2",
+]
+
+
+def test_fault_spec_dsl_prints_infrastructure_rows(capsys):
+    exit_code = main(
+        RUN_FAULT_ARGS
+        + ["--fault-spec", "peer-crash:rate=0.3,downtime=1;orderer-outage:start=0.5,duration=0.5"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "endorsement timeouts (%)" in captured.out
+    assert "orderer unavailable (%)" in captured.out
+    assert "peer unavailable (%)" in captured.out
+    assert "fault injections" in captured.out
+
+
+def test_fault_spec_json_document_includes_fault_telemetry(capsys):
+    exit_code = main(
+        RUN_FAULT_ARGS
+        + ["--fault-spec", '{"orderer_outages": [[0.5, 0.5]]}', "--json"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["config"]["faults"]["orderer_outages"] == [[0.5, 0.5]]
+    assert document["result"]["fault_injections"]["orderer_outage_start"] == 1
+    assert "orderer_unavailable" in document["result"]["failures"]
+
+
+def test_no_fault_spec_omits_fault_rows_and_nulls_json_faults(capsys):
+    assert main(RUN_FAULT_ARGS) == 0
+    assert "fault injections" not in capsys.readouterr().out
+    assert main(RUN_FAULT_ARGS + ["--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["config"]["faults"] is None
+
+
+def test_fault_spec_unknown_fault_type_lists_valid_choices_and_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--fault-spec", "meteor-strike:rate=1"])
+    assert excinfo.value.code == 2
+    captured = capsys.readouterr()
+    assert "unknown fault type 'meteor-strike'" in captured.err
+    assert "endorsement-loss, endorsement-timeout, endorser-slowdown" in captured.err
+    assert "orderer-outage, partition, peer-crash" in captured.err
+
+
+def test_fault_spec_malformed_json_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--fault-spec", "{bad json"])
+    assert excinfo.value.code == 2
+    assert "malformed fault spec JSON" in capsys.readouterr().err
+
+
+def test_fault_spec_invalid_values_exit_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--fault-spec", "endorsement-loss:rate=1.5"])
+    assert excinfo.value.code == 2
+    assert "endorsement loss rate" in capsys.readouterr().err
+
+
+def test_fault_spec_partition_beyond_channels_exits_2(capsys):
+    exit_code = main(
+        RUN_FAULT_ARGS + ["--fault-spec", "partition:channel=3,start=0,duration=1"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "channel 3" in captured.err

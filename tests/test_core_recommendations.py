@@ -269,3 +269,32 @@ def test_retry_rate_cap_rule_triggers_on_uncapped_amplification():
     # Mild amplification, or a cap already in place: no storm to contain.
     assert "retry-rate-cap" not in identifiers(analysis_with(1.1))
     assert "retry-rate-cap" not in identifiers(analysis_with(2.0, rate_cap=25.0))
+
+
+def test_endorsement_quorum_slack_rule_triggers_on_peer_faults():
+    crashy = make_analysis(
+        counts={FailureType.PEER_UNAVAILABLE: 3, FailureType.ENDORSEMENT_TIMEOUT: 2}
+    )
+    assert "endorsement-quorum-slack" in identifiers(crashy)
+    # A single stray timeout stays below the threshold.
+    quiet = make_analysis(counts={FailureType.ENDORSEMENT_TIMEOUT: 1}, total=200)
+    assert "endorsement-quorum-slack" not in identifiers(quiet)
+    # Orderer outages alone are not a peer-quorum problem.
+    outage_only = make_analysis(counts={FailureType.ORDERER_UNAVAILABLE: 10})
+    assert "endorsement-quorum-slack" not in identifiers(outage_only)
+
+
+def test_retry_under_outage_rule_triggers_without_retries():
+    blipped = make_analysis(counts={FailureType.ORDERER_UNAVAILABLE: 5})
+    assert "retry-under-outage" in identifiers(blipped)
+    # With retries already enabled the blip losses are being resubmitted.
+    retrying = make_analysis(
+        counts={FailureType.ORDERER_UNAVAILABLE: 5},
+        config=NetworkConfig(
+            cluster="C1", database="leveldb", retry=RetryConfig(policy="jittered")
+        ),
+    )
+    assert "retry-under-outage" not in identifiers(retrying)
+    # Below the outage threshold there is nothing to ride out.
+    quiet = make_analysis(counts={FailureType.ORDERER_UNAVAILABLE: 0})
+    assert "retry-under-outage" not in identifiers(quiet)

@@ -1,0 +1,88 @@
+"""Integration tests: injected faults flowing through the whole pipeline."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.core.failures import FailureType
+from repro.faults import FaultConfig
+from repro.lifecycle.retry import RetryConfig
+from repro.network.config import NetworkConfig
+from repro.workload.workloads import uniform_workload
+
+
+def run(faults: FaultConfig, channels: int = 1, retry: RetryConfig = RetryConfig(), **network):
+    config = ExperimentConfig(
+        workload=uniform_workload("EHR", patients=50),
+        network=NetworkConfig(
+            cluster="C1",
+            database="leveldb",
+            block_size=10,
+            channels=channels,
+            faults=faults,
+            retry=retry,
+            **network,
+        ),
+        arrival_rate=60.0,
+        duration=3.0,
+        seed=11,
+    )
+    return run_experiment(config).analyses[0]
+
+
+def test_partition_fails_proposals_fast_on_the_classic_path():
+    analysis = run(FaultConfig(partitions=((0, 0.5, 1.0),)))
+    report = analysis.failure_report
+    assert report.count(FailureType.PEER_UNAVAILABLE) > 0
+    # The partition window also covers the ordering service, but proposals
+    # fail first, so nothing reaches the orderer to be refused.
+    assert analysis.metrics.fault_injections == {
+        "partition_end": 1,
+        "partition_start": 1,
+    }
+    # Failures bound to the window: transactions submitted after the
+    # partition healed commit normally again.
+    assert analysis.metrics.committed_transactions > 0
+
+
+def test_partition_degrades_only_its_channel():
+    analysis = run(FaultConfig(partitions=((1, 0.0, 3.0),)), channels=2)
+    by_channel = {channel.index: channel for channel in analysis.channel_analyses}
+    healthy = by_channel[0].failure_report
+    partitioned = by_channel[1].failure_report
+    assert partitioned.count(FailureType.PEER_UNAVAILABLE) > 0
+    assert healthy.count(FailureType.PEER_UNAVAILABLE) == 0
+    assert healthy.count(FailureType.ORDERER_UNAVAILABLE) == 0
+    assert by_channel[0].metrics.committed_transactions > 0
+
+
+def test_endorser_slowdown_trips_the_client_watchdog():
+    chaos = FaultConfig(
+        endorser_slowdown_rate=2.0,
+        endorser_slowdown_factor=400.0,
+        endorser_slowdown_duration=1.0,
+        endorsement_timeout=0.3,
+    )
+    analysis = run(chaos)
+    report = analysis.failure_report
+    assert analysis.metrics.fault_injections.get("endorser_slowdown_start", 0) > 0
+    assert report.count(FailureType.ENDORSEMENT_TIMEOUT) > 0
+    # Slowdowns delay endorsements but never make peers unreachable.
+    assert report.count(FailureType.PEER_UNAVAILABLE) == 0
+
+
+def test_retries_resubmit_fault_aborted_transactions():
+    chaos = FaultConfig(orderer_outages=((0.5, 1.0),))
+    no_retry = run(chaos)
+    retrying = run(chaos, retry=RetryConfig(policy="jittered", max_retries=5, backoff=0.2))
+    assert no_retry.metrics.resubmissions == 0
+    assert retrying.metrics.resubmissions > 0
+    # Outage losses are transient, so retries commit more logical requests.
+    assert retrying.metrics.committed_requests > no_retry.metrics.committed_requests
+
+
+def test_fault_aborts_emit_aborted_lifecycle_events():
+    analysis = run(FaultConfig(partitions=((0, 0.5, 1.0),)))
+    counts = analysis.record.lifecycle_counts
+    infrastructure = analysis.failure_report.count(FailureType.PEER_UNAVAILABLE)
+    assert infrastructure > 0
+    assert counts.get("aborted", 0) >= infrastructure
