@@ -1,0 +1,150 @@
+"""Engine speed: the calendar-queue scheduler vs the reference heapq engine.
+
+Quantifies the event-engine overhaul (``repro.sim.engine``): the same
+1M-transaction endorse/collect/submit cascade — pre-drawn delay tables, a
+watchdog timer armed and cancelled on every eighth transaction, no network
+model in the way — is driven once through the preserved pre-overhaul
+:class:`~repro.sim.reference.ReferenceSimulator` and once through the
+bucketed :class:`~repro.sim.engine.Simulator`, and the events/sec ratio is
+the headline acceptance number.  Two full-pipeline cells (a single-channel
+and an 8-channel Fabric deployment at matched per-channel load, instrumented
+through :class:`~repro.sim.profile.EngineProfiler`) record the wall-clock and
+events/sec the calendar engine sustains when every event carries real
+endorsement, ordering and validation work.
+
+The run records all cells to ``BENCH_engine_speed.json`` at the repo root and
+asserts the acceptance bar in-test: the calendar engine must sustain at least
+``SPEEDUP_FLOOR``x the events/sec of the heapq reference on the
+1M-transaction cascade.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.enginespeed import cascade_cell
+from repro.chaincode import create_chaincode
+from repro.channels.network import MultiChannelNetwork
+from repro.fabric.variant import create_variant
+from repro.network.config import NetworkConfig
+from repro.network.network import FabricNetwork
+from repro.sim.profile import EngineProfiler
+from repro.workload.workloads import uniform_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_engine_speed.json"
+
+#: The paper-scale cascade: one million transactions, ~5 events each.
+CASCADE_TRANSACTIONS = 1_000_000
+#: Acceptance: calendar events/sec over heapq events/sec on the 1M cascade.
+SPEEDUP_FLOOR = 3.0
+
+#: Full-pipeline cells at matched per-channel load (400 tx/s per channel).
+NETWORK_CHANNELS = (1, 8)
+NETWORK_ARRIVAL_RATE_PER_CHANNEL = 400.0
+NETWORK_DURATION = 15.0
+NETWORK_SEED = 11
+
+
+def network_cell(channels: int) -> dict:
+    """Run one full-pipeline deployment on the calendar engine, profiled.
+
+    Both cells run the EHR chaincode under the uniform mix with the arrival
+    rate scaled by the channel count, so every channel sees the same load and
+    the 8-channel cell measures how the shared simulator clock holds up when
+    eight slices interleave on it.
+    """
+    spec = uniform_workload("EHR", patients=40)
+    config = NetworkConfig(
+        cluster="C1",
+        orgs=2,
+        peers_per_org=2,
+        clients=4,
+        block_size=10,
+        database="leveldb",
+        channels=channels,
+        cross_channel_rate=0.05 if channels > 1 else 0.0,
+    )
+    if channels == 1:
+        network = FabricNetwork(
+            config,
+            create_chaincode(spec.chaincode, **spec.chaincode_kwargs),
+            create_variant("fabric-1.4"),
+            seed=NETWORK_SEED,
+        )
+    else:
+        network = MultiChannelNetwork(
+            config,
+            chaincode_factory=lambda: create_chaincode(spec.chaincode, **spec.chaincode_kwargs),
+            variant_factory=lambda: create_variant("fabric-1.4"),
+            seed=NETWORK_SEED,
+        )
+    arrival_rate = NETWORK_ARRIVAL_RATE_PER_CHANNEL * channels
+    profiler = EngineProfiler(network.sim)
+    with profiler:
+        record = network.run(spec.mix, arrival_rate=arrival_rate, duration=NETWORK_DURATION)
+    report = profiler.report()
+    return {
+        "cell": f"network-{channels}ch",
+        "engine": "calendar",
+        "channels": channels,
+        "arrival_rate": arrival_rate,
+        "duration": NETWORK_DURATION,
+        "transactions": len(record.transactions),
+        "events": report["events"],
+        "wall_seconds": report["wall_seconds"],
+        "events_per_sec": report["events_per_sec"],
+        "max_queue_depth": report["max_queue_depth"],
+    }
+
+
+def test_engine_speed_grid_and_record():
+    rows = []
+
+    cascade = {}
+    for engine in ("heapq-reference", "calendar"):
+        row = cascade_cell(engine, CASCADE_TRANSACTIONS)
+        row["cell"] = "cascade-1m"
+        cascade[engine] = row
+        rows.append(row)
+        print(
+            f"cascade tx={row['transactions']:>9,} engine={engine:>16}: "
+            f"{row['events']:>9,} events in {row['wall_seconds']:7.2f}s "
+            f"({row['events_per_sec']:>9,.0f} ev/s)"
+        )
+    speedup = cascade["calendar"]["events_per_sec"] / cascade["heapq-reference"]["events_per_sec"]
+    print(f"cascade speedup: {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)")
+
+    for channels in NETWORK_CHANNELS:
+        row = network_cell(channels)
+        rows.append(row)
+        print(
+            f"network channels={channels}: {row['events']:>9,} events in "
+            f"{row['wall_seconds']:7.2f}s ({row['events_per_sec']:>9,.0f} ev/s, "
+            f"{row['transactions']:,} transactions)"
+        )
+
+    record = {
+        "benchmark": "engine_speed",
+        "grid": {
+            "cascade_transactions": CASCADE_TRANSACTIONS,
+            "network_channels": list(NETWORK_CHANNELS),
+            "network_arrival_rate_per_channel": NETWORK_ARRIVAL_RATE_PER_CHANNEL,
+            "network_duration": NETWORK_DURATION,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        "cascade_speedup": speedup,
+        "rows": rows,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Acceptance: >= 3x events/sec over the pre-overhaul heapq engine on the
+    # paper-scale cascade, and both engines dispatch the identical schedule.
+    assert cascade["calendar"]["events"] == cascade["heapq-reference"]["events"]
+    assert cascade["calendar"]["submitted"] == cascade["heapq-reference"]["submitted"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"calendar engine sustained only {speedup:.2f}x the reference events/sec "
+        f"({cascade['calendar']['events_per_sec']:,.0f} vs "
+        f"{cascade['heapq-reference']['events_per_sec']:,.0f}); floor is {SPEEDUP_FLOOR}x"
+    )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.bench.enginespeed import CASCADE_TRANSACTIONS, cascade_cell
 from repro.bench.harness import ExperimentConfig, ExperimentResult
 from repro.bench.runner import ExperimentRunner, get_default_runner
 from repro.bench.sweeps import find_best_block_size
@@ -1438,6 +1439,56 @@ def fault_retry_interaction(
     return report
 
 
+def engine_speed(
+    scale: Scale = QUICK_SCALE,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentReport:
+    """Event-engine speed: the calendar-queue scheduler vs the heapq oracle.
+
+    Unlike every other entry this experiment sweeps no network cells — it
+    drives the synthetic transaction cascade of
+    :mod:`repro.bench.enginespeed` (arrival -> endorsement fan-out ->
+    collection -> submission, with cancellable watchdogs) through both the
+    production calendar-queue engine and the preserved pre-overhaul heapq
+    engine, and reports events/sec for each.  Both engines dispatch the
+    identical event sequence, so the ratio isolates scheduler cost.  The
+    ``runner`` argument is accepted for interface uniformity but unused:
+    the cells are wall-clock measurements and must run in-process,
+    uncached.  ``benchmarks/bench_engine_speed.py`` records the full grid
+    (including an 8-channel network cell) in ``BENCH_engine_speed.json``.
+    """
+    del runner  # wall-clock cells cannot be cached or farmed out
+    transactions = CASCADE_TRANSACTIONS.get(scale.name, CASCADE_TRANSACTIONS["quick"])
+    report = ExperimentReport(
+        experiment_id="engine-speed",
+        title=f"Event-engine speed: calendar queue vs heapq reference ({transactions:,} transactions)",
+        headers=(
+            "engine",
+            "transactions",
+            "events",
+            "wall_seconds",
+            "events_per_sec",
+            "speedup_vs_reference",
+        ),
+        notes="Wall-clock measurements: rerun on an idle machine for comparable numbers.",
+    )
+    reference = cascade_cell("heapq-reference", transactions)
+    calendar = cascade_cell("calendar", transactions)
+    baseline = reference["events_per_sec"]
+    for metrics in (reference, calendar):
+        report.rows.append(
+            (
+                metrics["engine"],
+                transactions,
+                metrics["events"],
+                metrics["wall_seconds"],
+                metrics["events_per_sec"],
+                metrics["events_per_sec"] / baseline if baseline else 0.0,
+            )
+        )
+    return report
+
+
 #: All experiment functions keyed by their artefact id (used by EXPERIMENTS.md).
 EXPERIMENT_INDEX = {
     "table2": table02_chaincode_profiles,
@@ -1474,6 +1525,7 @@ EXPERIMENT_INDEX = {
     "retry-storm": retry_storm_cap,
     "fault-resilience": fault_resilience,
     "fault-retry": fault_retry_interaction,
+    "engine-speed": engine_speed,
 }
 
 
@@ -1633,6 +1685,10 @@ EXPERIMENT_SPECS = {
     "fault-retry": ExperimentSpec(
         "extension", ("retry_policy",), "fabric-1.4",
         "jittered retries outlast transient faults and recover lost requests",
+    ),
+    "engine-speed": ExperimentSpec(
+        "extension", ("engine", "transactions"), "simulator substrate",
+        "the calendar-queue engine sustains >= 3x the events/sec of the heapq reference",
     ),
 }
 

@@ -66,7 +66,7 @@ class CrossChannelCoordinator:
             self._locks[(home.index, key)] = tx.tx_id
         self.prepares_started += 1
         delay = home.network.latency.one_way(None, None)
-        self.sim.schedule(delay, self._prepare_on_partner, tx, home, partner)
+        self.sim.post(delay, self._prepare_on_partner, tx, home, partner)
 
     def _prepare_on_partner(self, tx: Transaction, home: Channel, partner: Channel) -> None:
         """The prepare occupies the partner channel's ordering service."""
@@ -77,7 +77,7 @@ class CrossChannelCoordinator:
     def _prepared(self, tx: Transaction, home: Channel, partner: Channel) -> None:
         """The partner acked; the ack travels back to the coordinator."""
         delay = partner.network.latency.one_way(None, None)
-        self.sim.schedule(delay, self._commit_on_home, tx, home)
+        self.sim.post(delay, self._commit_on_home, tx, home)
 
     def _commit_on_home(self, tx: Transaction, home: Channel) -> None:
         """Phase 2: release the locks and order the transaction at home."""

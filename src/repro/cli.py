@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Callable, List, Optional, Sequence
 
@@ -79,6 +80,28 @@ def _choice(kind: str, choices: Sequence[str]) -> Callable[[str], str]:
         return value
 
     parse.__name__ = kind  # nicer argparse usage strings
+    return parse
+
+
+def _finite_float(kind: str) -> Callable[[str], float]:
+    """An argparse ``type`` for floats that must be finite.
+
+    ``float()`` happily parses ``nan`` and ``inf``, and a NaN duration or
+    rate used to slip all the way into the simulator (``delay < 0`` is False
+    for NaN) before dying deep in the engine.  Reject it at the CLI boundary
+    with exit code 2 and a message naming the option instead.
+    """
+
+    def parse(value: str) -> float:
+        try:
+            number = float(value)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(f"{kind} must be a number, got {value!r}") from error
+        if not math.isfinite(number):
+            raise argparse.ArgumentTypeError(f"{kind} must be a finite number, got {value!r}")
+        return number
+
+    parse.__name__ = kind
     return parse
 
 
@@ -190,8 +213,12 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--database", default="couchdb", choices=["couchdb", "leveldb"])
     parser.add_argument("--block-size", type=int, default=100)
     parser.add_argument("--policy", default="P0", choices=["P0", "P1", "P2", "P3"])
-    parser.add_argument("--rate", type=float, default=100.0, help="arrival rate in tps")
-    parser.add_argument("--duration", type=float, default=15.0, help="simulated seconds")
+    parser.add_argument(
+        "--rate", type=_finite_float("rate"), default=100.0, help="arrival rate in tps"
+    )
+    parser.add_argument(
+        "--duration", type=_finite_float("duration"), default=15.0, help="simulated seconds"
+    )
     parser.add_argument("--skew", type=float, default=1.0, help="Zipfian key skew")
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--seed", type=int, default=7)

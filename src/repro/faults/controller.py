@@ -63,7 +63,7 @@ class FaultController:
             return
         self.armed = True
         for injection in schedule:
-            self.sim.schedule_at(injection.time, self._apply, injection)
+            self.sim.post_at(injection.time, self._apply, injection)
 
     def _apply(self, injection: FaultInjection) -> None:
         kind = injection.kind
@@ -91,7 +91,7 @@ class FaultController:
     def _maybe_restore_orderer(self) -> None:
         if self.orderer_available() and self.on_orderer_restored is not None:
             hook, self.on_orderer_restored = self.on_orderer_restored, None
-            self.sim.schedule(0.0, hook)
+            self.sim.post(0.0, hook)
 
     # ---------------------------------------------------------------- queries
     @property
@@ -146,7 +146,7 @@ class FaultController:
 
     def _flush_deliveries(self, peer_name: str) -> None:
         for deliver in self._deferred_deliveries.pop(peer_name, ()):  # in arrival order
-            self.sim.schedule(0.0, deliver)
+            self.sim.post(0.0, deliver)
 
     # ------------------------------------------------------------- inspection
     def stats(self) -> Dict[str, int]:

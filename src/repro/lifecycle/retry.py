@@ -309,7 +309,7 @@ class RetryController:
             return
         self.budget.try_consume(tx.client_name)
         self.resubmissions += 1
-        self.sim.schedule(delay, client.resubmit, tx)
+        self.sim.post(delay, client.resubmit, tx)
 
     # ------------------------------------------------------------ inspection
     def stats(self) -> Dict[str, int]:

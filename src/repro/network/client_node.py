@@ -87,8 +87,10 @@ class ClientNode:
         Returns the number of scheduled transactions.
         """
         arrivals = self.arrival.schedule(duration)
+        post_at = self.sim.post_at
+        submit_next = self._submit_next
         for arrival_time in arrivals:
-            self.sim.schedule_at(arrival_time, self._submit_next)
+            post_at(arrival_time, submit_next)
         return len(arrivals)
 
     def _submit_next(self) -> None:
@@ -150,16 +152,16 @@ class ClientNode:
                 if not self.faults.peer_available(peer.name):
                     # Connection refused: the client learns one network hop
                     # later and gives the transaction up immediately.
-                    self.sim.schedule(delay, self._on_peer_unreachable, tx)
+                    self.sim.post(delay, self._on_peer_unreachable, tx)
                     continue
                 if self.faults.endorsement_lost():
                     continue  # vanishes in transit; the watchdog will fire
-            self.sim.schedule(delay, peer.receive_proposal, tx, self.chaincode, on_response)
+            self.sim.post(delay, peer.receive_proposal, tx, self.chaincode, on_response)
         if self.faults is not None and self.faults.arms_endorsement_watchdog:
             # Armed only for faults that can lose or stall an endorsement;
             # an outage- or crash-only profile must never reclassify a merely
             # congested endorsement queue as an infrastructure timeout.
-            self.sim.schedule(self.faults.endorsement_timeout, self._endorsement_timeout, tx)
+            self.sim.post(self.faults.endorsement_timeout, self._endorsement_timeout, tx)
 
     def _on_peer_unreachable(self, tx: Transaction) -> None:
         """A proposal hit a down peer; fail fast unless already resolved."""
@@ -175,7 +177,7 @@ class ClientNode:
     def _on_endorsement(self, tx: Transaction, peer: Peer, response: EndorsementResponse) -> None:
         """A peer finished endorsing; account for the response network latency."""
         delay = self.latency.one_way(peer.org_index, None)
-        self.sim.schedule(delay, self._collect_response, tx, response)
+        self.sim.post(delay, self._collect_response, tx, response)
 
     def _collect_response(self, tx: Transaction, response: EndorsementResponse) -> None:
         """Execution phase, step 3: collect responses and submit for ordering."""
@@ -214,4 +216,4 @@ class ClientNode:
             self.orderer.abort_early(tx, ValidationCode.ENDORSEMENT_POLICY_FAILURE)
             return
         delay = self.config.timing.client_processing + self.latency.one_way(None, None)
-        self.sim.schedule(delay, self.orderer.submit, tx)
+        self.sim.post(delay, self.orderer.submit, tx)

@@ -190,7 +190,7 @@ class OrderingService:
             delay = self.latency.block_delivery(peer.org_index) + self.rng.uniform(
                 0.0, self.timing.delivery_jitter
             )
-            self.sim.schedule(delay, peer.deliver_block, block, self._on_peer_commit)
+            self.sim.post(delay, peer.deliver_block, block, self._on_peer_commit)
 
     def _on_peer_commit(self, peer: Peer, block: Block) -> None:
         if peer is self.reference_peer:

@@ -1,14 +1,19 @@
 """Discrete-event simulation substrate.
 
 This package contains the small, self-contained discrete-event simulation (DES)
-engine on which the Fabric network model is built: an event heap with a virtual
-clock (:mod:`repro.sim.engine`), single-server FIFO service stations used to
-model peers and the ordering service (:mod:`repro.sim.resources`), seeded
-random-number streams (:mod:`repro.sim.rng`) and online statistics accumulators
+engine on which the Fabric network model is built: a calendar-queue scheduler
+with a virtual clock (:mod:`repro.sim.engine`, with the original heapq engine
+kept as a differential-testing oracle in :mod:`repro.sim.reference`), an
+opt-in engine profiler (:mod:`repro.sim.profile`), single-server FIFO service
+stations used to model peers and the ordering service
+(:mod:`repro.sim.resources`), seeded random-number streams
+(:mod:`repro.sim.rng`) and online statistics accumulators
 (:mod:`repro.sim.stats`).
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.profile import EngineProfiler
+from repro.sim.reference import ReferenceSimulator
 from repro.sim.resources import ServiceStation
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import OnlineStats, TimeWeightedStats
@@ -16,6 +21,8 @@ from repro.sim.stats import OnlineStats, TimeWeightedStats
 __all__ = [
     "Event",
     "Simulator",
+    "EngineProfiler",
+    "ReferenceSimulator",
     "ServiceStation",
     "RandomStreams",
     "OnlineStats",

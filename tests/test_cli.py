@@ -462,3 +462,27 @@ def test_fault_spec_partition_beyond_channels_exits_2(capsys):
     captured = capsys.readouterr()
     assert exit_code == 2
     assert "channel 3" in captured.err
+
+
+@pytest.mark.parametrize("value", ["nan", "inf", "-inf", "NaN"])
+def test_parser_rejects_non_finite_duration(capsys, value):
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["run", f"--duration={value}"])
+    assert excinfo.value.code == 2
+    assert f"duration must be a finite number, got {value!r}" in capsys.readouterr().err
+
+
+def test_parser_rejects_non_finite_rate(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["run", "--rate", "inf"])
+    assert excinfo.value.code == 2
+    assert "rate must be a finite number, got 'inf'" in capsys.readouterr().err
+
+
+def test_parser_still_accepts_finite_duration_and_rate():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--duration", "12.5", "--rate", "250"])
+    assert args.duration == 12.5
+    assert args.rate == 250.0

@@ -194,3 +194,133 @@ def test_property_reentrant_run_raises_and_simulation_continues(trigger_time, us
     sim.schedule(trigger_time + 0.5, seen.append, "after")
     sim.run_until_empty()
     assert seen == ["nested", "after"]
+
+
+# ------------------------------------------------------- post fast-path + bugs
+def test_post_runs_callback_without_returning_a_handle(sim):
+    seen = []
+    assert sim.post(1.0, seen.append, "posted") is None
+    assert sim.post_at(2.0, seen.append, "posted-at") is None
+    sim.run_until_empty()
+    assert seen == ["posted", "posted-at"]
+    assert sim.processed_events == 2
+
+
+def test_post_and_schedule_share_tie_break_order(sim):
+    seen = []
+    sim.post(1.0, seen.append, "first")
+    sim.schedule(1.0, seen.append, "second")
+    sim.post_at(1.0, seen.append, "third")
+    sim.run_until_empty()
+    assert seen == ["first", "second", "third"]
+
+
+@pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_delay_rejected(sim, delay):
+    with pytest.raises(SimulationError, match="non-finite"):
+        sim.schedule(delay, lambda: None)
+    with pytest.raises(SimulationError, match="non-finite"):
+        sim.post(delay, lambda: None)
+    assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("time", [float("nan"), float("inf")])
+def test_non_finite_absolute_time_rejected(sim, time):
+    with pytest.raises(SimulationError, match="non-finite"):
+        sim.schedule_at(time, lambda: None)
+    with pytest.raises(SimulationError, match="non-finite"):
+        sim.post_at(time, lambda: None)
+    assert sim.pending_events == 0
+
+
+def test_run_until_nan_rejected(sim):
+    with pytest.raises(SimulationError, match="NaN"):
+        sim.run(until=float("nan"))
+
+
+def test_cancel_immediately_drops_pending_count(sim):
+    events = [sim.schedule(1.0 + index, lambda: None) for index in range(3)]
+    assert sim.pending_events == 3
+    events[1].cancel()
+    assert sim.pending_events == 2
+    events[1].cancel()  # idempotent
+    assert sim.pending_events == 2
+    sim.run_until_empty()
+    assert sim.processed_events == 2
+
+
+def test_cancel_storm_of_100k_timeouts_keeps_queue_bounded(sim):
+    """Regression: cancelled events used to stay queued forever.
+
+    A retry storm arms and cancels 100k timeouts; compaction must keep the
+    physically retained entries bounded (and ``pending_events`` exact)
+    instead of letting the queue grow with every cancelled watchdog.
+    """
+    events = [
+        sim.schedule(5.0 + (index % 97) * 0.01, lambda: None) for index in range(100_000)
+    ]
+    for event in events:
+        event.cancel()
+    stats = sim.queue_stats()
+    assert sim.pending_events == 0
+    assert stats["queued_entries"] <= 1024, stats
+    sim.run_until_empty()
+    assert sim.processed_events == 0
+
+
+def test_mid_run_cancellation_storm_is_compacted(sim):
+    timeouts = [sim.schedule(50.0, lambda: None) for _ in range(5_000)]
+
+    def cancel_all():
+        for event in timeouts:
+            event.cancel()
+
+    sim.schedule(1.0, cancel_all)
+    seen = []
+    sim.schedule(2.0, seen.append, "after")
+    sim.run_until_empty()
+    assert seen == ["after"]
+    assert sim.pending_events == 0
+    assert sim.queue_stats()["queued_entries"] <= 1024
+    assert sim.now == pytest.approx(2.0)  # no cancelled timeout ever ran
+
+
+def test_queue_stats_reports_live_and_cancelled(sim):
+    kept = sim.schedule(1.0, lambda: None)
+    cancelled = sim.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    stats = sim.queue_stats()
+    assert stats["live"] == 1
+    assert stats["cancelled"] == 1
+    assert stats["queued_entries"] == 2
+    assert not kept.cancelled and cancelled.cancelled
+
+
+# ------------------------------------------------------------------- profiler
+def test_engine_profiler_reports_events_and_depth_histogram(sim):
+    from repro.sim.profile import EngineProfiler
+
+    for index in range(10):
+        sim.schedule(0.5 * (index % 4), lambda: None)
+    profiler = EngineProfiler(sim)
+    with profiler:
+        sim.run_until_empty()
+    report = profiler.report()
+    assert report["events"] == 10
+    assert report["batches"] >= 1
+    assert report["wall_seconds"] > 0.0
+    assert report["events_per_sec"] > 0.0
+    assert sum(report["depth_histogram"].values()) == report["batches"]
+    # Detached afterwards: further runs are not recorded.
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_empty()
+    assert profiler.report()["events"] == 10
+
+
+def test_attaching_two_profilers_is_rejected(sim):
+    from repro.sim.profile import EngineProfiler
+
+    with EngineProfiler(sim):
+        with pytest.raises(SimulationError):
+            sim.attach_profiler(EngineProfiler(sim))
+    sim.detach_profiler()  # no-op when nothing is attached
