@@ -1,0 +1,69 @@
+"""Trace a run end to end: span trees, critical path, Perfetto export.
+
+This example enables the observability layer on a small experiment, walks the
+span tree of one committed transaction stage by stage (endorsement with its
+per-peer legs, ordering-queue wait, consensus, commit), prints the
+critical-path attribution across all committed transactions, and writes a
+Chrome trace-event file you can open at https://ui.perfetto.dev.
+
+Tracing is free of side effects: the run's metrics (and the cell hash that
+seeds it) are bit-identical with tracing on or off.
+
+Run with::
+
+    python examples/trace_transaction.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, NetworkConfig, run_experiment
+from repro.observability import (
+    ObservabilityConfig,
+    critical_path_report,
+    format_report,
+    write_chrome_trace,
+)
+
+TRACE_FILE = "trace.json"
+
+
+def print_span(span, indent: int = 0) -> None:
+    pad = "  " * indent
+    label = span.name if span.category != "tx" else f"attempt {span.args['tx_id']}"
+    print(f"{pad}{label:<24} {span.start:8.4f}s -> {span.end:8.4f}s  ({span.duration * 1000:7.2f} ms)")
+    for child in span.children:
+        print_span(child, indent + 1)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        variant="fabric-1.4",
+        network=NetworkConfig(
+            cluster="C1",
+            database="leveldb",
+            block_size=10,
+            observability=ObservabilityConfig(trace=True, metrics=True),
+        ),
+        arrival_rate=80.0,
+        duration=5.0,
+        seed=42,
+    )
+    print(f"Running {config.variant} at {config.arrival_rate:.0f} tps with tracing enabled ...")
+    record = run_experiment(config).analyses[0].record
+    data = record.observability
+
+    committed = [span for span in data.spans if span.args["status"] == "committed"]
+    print(f"\n{len(data.spans)} transaction attempts traced, {len(committed)} committed.")
+    print("\nSpan tree of the first committed transaction:\n")
+    print_span(committed[0])
+
+    print("\nCritical path across all committed transactions:\n")
+    print(format_report(critical_path_report(data.spans)))
+
+    write_chrome_trace(TRACE_FILE, [data])
+    print(f"\nWrote {TRACE_FILE} — open it at https://ui.perfetto.dev")
+    print("(or run: PYTHONPATH=src python -m repro trace summary trace.json)")
+
+
+if __name__ == "__main__":
+    main()

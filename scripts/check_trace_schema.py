@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event file written by ``repro run --trace-out``.
+
+Pure-stdlib schema check used by the CI trace-smoke step: loads the file,
+verifies the Trace Event Format envelope and the per-event invariants of each
+phase the exporter emits (``X`` complete spans, ``M`` metadata, ``C``
+counters, ``i`` instant fault markers), and reports a one-line summary.
+
+Exit status: 0 when the file is a valid trace, 1 with a diagnostic on stderr
+otherwise.
+
+Usage::
+
+    python scripts/check_trace_schema.py TRACE.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+#: Event phases the exporter produces, with the keys each one must carry.
+REQUIRED_KEYS = {
+    "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+    "M": ("name", "pid", "tid", "args"),
+    "C": ("name", "cat", "ts", "pid", "tid", "args"),
+    "i": ("name", "cat", "ts", "pid", "tid", "s"),
+}
+
+
+def check_event(index: int, event: object, errors: List[str]) -> None:
+    if not isinstance(event, dict):
+        errors.append(f"event {index}: not an object")
+        return
+    phase = event.get("ph")
+    if phase not in REQUIRED_KEYS:
+        errors.append(f"event {index}: unknown phase {phase!r}")
+        return
+    for key in REQUIRED_KEYS[phase]:
+        if key not in event:
+            errors.append(f"event {index} (ph={phase}): missing key {key!r}")
+    if phase == "X":
+        if not isinstance(event.get("ts"), (int, float)) or event.get("ts", 0) < 0:
+            errors.append(f"event {index}: ts must be a non-negative number")
+        if not isinstance(event.get("dur"), (int, float)) or event.get("dur", 0) < 0:
+            errors.append(f"event {index}: dur must be a non-negative number")
+        if event.get("cat") == "tx" and "tx_id" not in event.get("args", {}):
+            errors.append(f"event {index}: tx root span without args.tx_id")
+    if phase == "i" and event.get("s") not in ("g", "p", "t"):
+        errors.append(f"event {index}: instant scope must be g/p/t, got {event.get('s')!r}")
+
+
+def check_document(document: object, errors: List[str]) -> dict:
+    counts = {"X": 0, "M": 0, "C": 0, "i": 0}
+    if not isinstance(document, dict):
+        errors.append("top level is not a JSON object")
+        return counts
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("missing traceEvents array")
+        return counts
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        check_event(index, event, errors)
+        if isinstance(event, dict) and event.get("ph") in counts:
+            counts[event["ph"]] += 1
+    if counts["X"] == 0:
+        errors.append("no complete (ph=X) span events")
+    if not any(
+        isinstance(event, dict) and event.get("cat") == "tx" for event in events
+    ):
+        errors.append("no transaction root spans (cat=tx)")
+    return counts
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_trace_schema.py TRACE.json", file=sys.stderr)
+        return 1
+    path = argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+    errors: List[str] = []
+    counts = check_document(document, errors)
+    if errors:
+        for message in errors[:20]:
+            print(f"error: {message}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"error: ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    print(
+        f"{path}: valid trace — {counts['X']} spans, {counts['M']} metadata, "
+        f"{counts['C']} counter samples, {counts['i']} markers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,9 +35,11 @@ from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
 from repro.core.metrics import ExperimentMetrics
 from repro.errors import ConfigurationError
 from repro.faults.spec import FaultConfig
+from repro.ledger.block import reset_transaction_ids
 from repro.lifecycle.pipeline import build_network
 from repro.lifecycle.retry import RetryConfig
 from repro.network.config import NetworkConfig
+from repro.observability.config import ObservabilityConfig
 from repro.workload.distributions import make_distribution
 from repro.workload.spec import WorkloadSpec
 from repro.workload.workloads import uniform_workload
@@ -117,12 +119,20 @@ def _canonical(value):
     disabled config — the default, an unused knob tweak — describes the same
     experiment and must keep the cell hash (and therefore the per-repetition
     seeds and every cached result) it had before the subsystem existed.
+
+    An :class:`~repro.observability.config.ObservabilityConfig` is omitted
+    *unconditionally* — enabled or not.  Observation never influences the
+    simulation, so tracing a cell must keep its identity, its per-repetition
+    seeds and its results bit-identical to the untraced cell.  (Consequence:
+    cached sweep results carry no trace data, so the sweep CLI bypasses the
+    result cache when an export is requested.)
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _canonical(getattr(value, field.name))
             for field in dataclasses.fields(value)
-            if not (
+            if not isinstance(getattr(value, field.name), ObservabilityConfig)
+            and not (
                 isinstance(getattr(value, field.name), (RetryConfig, FaultConfig))
                 and not getattr(value, field.name).enabled
             )
@@ -328,6 +338,10 @@ def run_repetition(
     classic :class:`FabricNetwork`.
     """
     seed = repetition_seed(config, repetition, cell_hash=cell_hash)
+    # Transaction ids restart at tx-00000000 for every repetition: they must
+    # be a function of the run, not of process history, so trace exports are
+    # byte-identical across repeated runs and across runner paths.
+    reset_transaction_ids()
     network = build_network(
         config=config.network,
         chaincode_factory=config.build_chaincode,

@@ -65,6 +65,7 @@ class CrossChannelCoordinator:
         for key in keys:
             self._locks[(home.index, key)] = tx.tx_id
         self.prepares_started += 1
+        tx.prepare_started_at = self.sim.now
         delay = home.network.latency.one_way(None, None)
         self.sim.post(delay, self._prepare_on_partner, tx, home, partner)
 
@@ -83,6 +84,7 @@ class CrossChannelCoordinator:
         """Phase 2: release the locks and order the transaction at home."""
         self._release(tx, home)
         self.committed += 1
+        tx.prepare_completed_at = self.sim.now
         home.orderer.submit(tx)
 
     # -------------------------------------------------------------- internals

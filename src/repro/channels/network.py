@@ -49,6 +49,7 @@ from repro.lifecycle.events import LifecycleBus
 from repro.lifecycle.retry import ResubmissionGovernor
 from repro.network.config import NetworkConfig
 from repro.network.network import FabricNetwork, RunRecord
+from repro.observability.observer import ObservabilityData, RunObserver
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import mean
@@ -115,6 +116,19 @@ class MultiChannelNetwork:
         self.retry_governor = (
             ResubmissionGovernor(config.retry.rate_cap) if config.retry.enabled else None
         )
+        #: One observer for the whole deployment, on the piped deployment bus —
+        #: the per-channel slices share the clock, so they skip their own (see
+        #: :class:`~repro.network.network.FabricNetwork`).
+        self.observer: Optional[RunObserver] = None
+        if config.observability.enabled:
+            self.observer = RunObserver(self.sim, self.bus, config.observability)
+            for channel in self.channels:
+                self.observer.add_queue_probe(
+                    f"orderer.ch{channel.index}",
+                    lambda network=channel.network: network.orderer.pending_count,
+                )
+                if channel.network.faults is not None:
+                    self.observer.watch_faults(channel.network.faults)
 
     # -------------------------------------------------------------------- run
     def run(
@@ -130,6 +144,8 @@ class MultiChannelNetwork:
             raise ConfigurationError(f"the arrival rate must be positive, got {arrival_rate}")
         if duration <= 0:
             raise ConfigurationError(f"the duration must be positive, got {duration}")
+        if self.observer is not None:
+            self.observer.on_run_start(duration)
         for channel in self.channels:
             shard = ShardedKeyDistribution(
                 topology=self.topology, channel=channel.index, base=key_distribution
@@ -150,7 +166,11 @@ class MultiChannelNetwork:
                 gateway=gateway,
                 retry_governor=self.retry_governor,
             )
-        self.sim.run_until_empty()
+        if self.observer is not None:
+            with self.observer.profile():
+                self.sim.run_until_empty()
+        else:
+            self.sim.run_until_empty()
         return self._aggregate_record(arrival_rate, duration, workload_name)
 
     # -------------------------------------------------------------- recording
@@ -169,6 +189,15 @@ class MultiChannelNetwork:
             early_aborted.extend(record.record.early_aborted)
             read_only_skipped.extend(record.record.read_only_skipped)
         transactions.sort(key=lambda tx: (tx.submitted_at, tx.tx_id))
+        observability: Optional[ObservabilityData] = None
+        if self.observer is not None:
+            block_times = {
+                record.index: {
+                    block.number: block.created_at for block in record.record.ledger.blocks
+                }
+                for record in channel_records
+            }
+            observability = self.observer.collect(block_times, final_time=self.sim.now)
         reference = self.channels[0].network
         return RunRecord(
             # The reference channel's config went through variant.configure()
@@ -210,6 +239,7 @@ class MultiChannelNetwork:
                 record.record.retry_rate_denied for record in channel_records
             ),
             fault_injections=self._merge_fault_stats(channel_records),
+            observability=observability,
         )
 
     @staticmethod

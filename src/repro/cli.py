@@ -22,6 +22,17 @@ library without writing Python:
     (``--cache-dir`` persists it across invocations, ``--no-cache`` disables
     it), and print one table row per grid cell plus the runner's statistics.
 
+``python -m repro trace summary <file>``
+    Analyze a Chrome trace written by ``run``/``sweep --trace-out``: per-stage
+    critical-path attribution of the committed transactions' latency.
+
+``run`` and ``sweep`` additionally accept ``--trace-out FILE`` (Chrome
+trace-event JSON, loadable in Perfetto or ``chrome://tracing``) and
+``--metrics-out FILE`` (registry summary + sampled sim-time series + fault
+markers); exporting never changes results — observability is excluded from
+experiment cell identity (sweeps bypass the result cache when exporting, since
+cached results carry no trace data).
+
 Every experiment command accepts the multi-channel flags ``--channels``,
 ``--placement`` and ``--cross-channel-rate`` (see :mod:`repro.channels`), the
 client-retry flags ``--retry-policy``, ``--max-retries``, ``--retry-backoff``
@@ -41,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from typing import Callable, List, Optional, Sequence
 
@@ -57,6 +69,15 @@ from repro.fabric.variant import available_variants
 from repro.faults import FaultConfig, fault_config_summary, parse_fault_spec
 from repro.lifecycle.retry import RetryConfig, available_retry_policies
 from repro.network.config import CLUSTER_PRESETS, PLACEMENT_POLICIES, NetworkConfig
+from repro.observability import (
+    ObservabilityConfig,
+    critical_path_from_trace,
+    critical_path_report,
+    format_report,
+    load_trace,
+    write_chrome_trace,
+    write_metrics,
+)
 
 from repro.workload.workloads import uniform_workload
 
@@ -131,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment and explain the failures")
     _add_experiment_arguments(run_parser)
+    _add_observability_arguments(run_parser)
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare Fabric variants on the same workload"
@@ -148,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a grid of experiments through the parallel runner"
     )
     _add_experiment_arguments(sweep_parser)
+    _add_observability_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--variants",
         nargs="*",
@@ -186,6 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persist cached results in this directory (reused by later sweeps)",
+    )
+
+    trace_parser = subparsers.add_parser("trace", help="inspect exported trace files")
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summary_parser = trace_subparsers.add_parser(
+        "summary", help="critical-path attribution of an exported Chrome trace"
+    )
+    summary_parser.add_argument("file", help="trace file written by run/sweep --trace-out")
+    summary_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as a machine-readable JSON document",
     )
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a paper table or figure")
@@ -286,6 +321,57 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (Perfetto-loadable) of the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry summary and sampled sim-time series as JSON",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=_finite_float("sample interval"),
+        default=0.25,
+        help="sim-time sampling interval in seconds for --metrics-out (default 0.25)",
+    )
+
+
+def _ensure_writable(path: str, option: str) -> None:
+    """Reject unwritable export targets before spending time on the run."""
+    if os.path.isdir(path):
+        raise ConfigurationError(f"{option} target {path!r} is a directory")
+    if os.path.exists(path):
+        if not os.access(path, os.W_OK):
+            raise ConfigurationError(f"{option} target {path!r} is not writable")
+        return
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        raise ConfigurationError(f"{option} target directory {parent!r} does not exist")
+    if not os.access(parent, os.W_OK):
+        raise ConfigurationError(f"{option} target directory {parent!r} is not writable")
+
+
+def _observability_config(args: argparse.Namespace) -> ObservabilityConfig:
+    """The observability config requested by --trace-out/--metrics-out."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is not None:
+        _ensure_writable(trace_out, "--trace-out")
+    if metrics_out is not None:
+        _ensure_writable(metrics_out, "--metrics-out")
+    return ObservabilityConfig(
+        trace=trace_out is not None,
+        metrics=metrics_out is not None,
+        sample_interval=getattr(args, "sample_interval", 0.25),
+    )
+
+
 def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) -> ExperimentConfig:
     return ExperimentConfig(
         variant=variant or args.variant,
@@ -306,6 +392,7 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
                 rate_cap=args.retry_rate_cap,
             ),
             faults=args.fault_spec if args.fault_spec is not None else FaultConfig(),
+            observability=_observability_config(args),
         ),
         arrival_rate=args.rate,
         duration=args.duration,
@@ -360,6 +447,10 @@ def _analysis_summary(analysis: ExperimentAnalysis) -> dict:
         "retry_amplification": metrics.retry_amplification,
         "lifecycle_events": dict(analysis.record.lifecycle_counts),
         "fault_injections": dict(metrics.fault_injections),
+        "latency_quantiles_s": dict(metrics.latency_quantiles),
+        "stage_latency_s": {
+            stage: dict(row) for stage, row in metrics.stage_latency.items()
+        },
     }
     if analysis.channel_analyses:
         summary["channels"] = [
@@ -381,28 +472,57 @@ def _print_json(document: dict) -> None:
 
 
 # ----------------------------------------------------------------- commands
+def _export_observability(args: argparse.Namespace, analysis: ExperimentAnalysis) -> List[str]:
+    """Write the run's requested trace/metrics exports; returns notices."""
+    data = analysis.record.observability
+    if data is None:
+        return []
+    notices: List[str] = []
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out, [data])
+        notices.append(f"trace written to {args.trace_out}")
+    if args.metrics_out is not None:
+        write_metrics(args.metrics_out, data)
+        notices.append(f"metrics written to {args.metrics_out}")
+    return notices
+
+
 def _command_run(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
     result = run_experiment(config)
     analysis = result.analyses[0]
+    # With repetitions > 1 every repetition is traced identically configured;
+    # the exports cover the first repetition (the others differ only by seed).
+    export_notices = _export_observability(args, analysis)
     report = analysis.failure_report
     recommendations = RecommendationEngine().recommend(analysis)
     if args.json:
-        _print_json(
-            {
-                "command": "run",
-                "config": _config_summary(config),
-                "result": _analysis_summary(analysis),
-                "recommendations": [
-                    {
-                        "identifier": recommendation.identifier,
-                        "title": recommendation.title,
-                        "paper_section": recommendation.paper_section,
-                    }
-                    for recommendation in recommendations
-                ],
+        document = {
+            "command": "run",
+            "config": _config_summary(config),
+            "result": _analysis_summary(analysis),
+            "recommendations": [
+                {
+                    "identifier": recommendation.identifier,
+                    "title": recommendation.title,
+                    "paper_section": recommendation.paper_section,
+                }
+                for recommendation in recommendations
+            ],
+        }
+        data = analysis.record.observability
+        if data is not None and data.spans:
+            document["critical_path"] = critical_path_report(data.spans)
+        if export_notices:
+            document["exports"] = {
+                key: value
+                for key, value in (
+                    ("trace", args.trace_out),
+                    ("metrics", args.metrics_out),
+                )
+                if value is not None
             }
-        )
+        _print_json(document)
         return 0
     rows = [
         ("submitted transactions", analysis.metrics.submitted_transactions),
@@ -463,10 +583,16 @@ def _command_run(args: argparse.Namespace) -> int:
                 title="Per-channel breakdown",
             )
         )
+    data = analysis.record.observability
+    if data is not None and data.spans:
+        print("\nCritical path (committed transactions):")
+        print(format_report(critical_path_report(data.spans)))
     if recommendations:
         print("\nRecommendations (paper Section 6):")
         for recommendation in recommendations:
             print(f"  - {recommendation.title} [{recommendation.paper_section}]")
+    for notice in export_notices:
+        print(notice)
     return 0
 
 
@@ -535,9 +661,33 @@ def _command_sweep(args: argparse.Namespace) -> int:
         arrival_rates=args.rates,
         zipf_skews=args.skews,
     )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    exporting = args.trace_out is not None or args.metrics_out is not None
+    cache = None if args.no_cache or exporting else ResultCache(args.cache_dir)
+    if exporting and not args.no_cache:
+        # Observability is excluded from cell identity, so cached results of
+        # the same cells carry no trace data; run the cells fresh instead.
+        print("note: result cache bypassed while exporting traces/metrics", file=sys.stderr)
     runner = ExperimentRunner(workers=args.workers, cache=cache)
     outcome = runner.run_sweep(plan)
+    if exporting:
+        observed = [
+            (
+                f"{cell.variant}-bs{cell.block_size}-r{cell.arrival_rate:g}-z{cell.zipf_skew:g}",
+                result.analyses[0].record.observability,
+            )
+            for cell, result in zip(outcome.cells, outcome.results)
+        ]
+        observed = [(name, data) for name, data in observed if data is not None]
+        if args.trace_out is not None:
+            write_chrome_trace(
+                args.trace_out,
+                [data for _, data in observed],
+                names=[name for name, _ in observed],
+            )
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
+        if args.metrics_out is not None:
+            _write_sweep_metrics(args.metrics_out, observed)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.json:
         _print_json(
             {
@@ -579,6 +729,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_sweep_metrics(path: str, observed) -> None:
+    """Write one metrics document per sweep cell, keyed by the cell label."""
+    from repro.observability import dumps, metrics_document
+
+    document = {"cells": [{"cell": name, **metrics_document(data)} for name, data in observed]}
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(document))
+        handle.write("\n")
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        document = load_trace(args.file)
+    except FileNotFoundError as error:
+        raise ConfigurationError(f"trace file {args.file!r} does not exist") from error
+    except (ValueError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"not a Chrome trace-event file: {error}") from error
+    report = critical_path_from_trace(document)
+    if args.json:
+        _print_json({"command": "trace-summary", "file": args.file, **report})
+        return 0
+    print(format_report(report))
+    return 0
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     experiment = EXPERIMENT_INDEX[args.artefact]
     report = experiment(_SCALES[args.scale])
@@ -597,6 +772,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_compare(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "trace":
+            return _command_trace(args)
         if args.command == "figure":
             return _command_figure(args)
     except ReproError as error:

@@ -16,6 +16,8 @@ from repro.core.classifier import ClassifiedTransaction, TransactionClassifier
 from repro.core.failures import FailureType
 from repro.ledger.block import Transaction
 from repro.network.network import RunRecord
+from repro.observability.spans import LIFECYCLE_STAGES, BlockTimes, stage_durations
+from repro.sim.stats import QuantileSketch, percentile
 
 
 @dataclass
@@ -192,6 +194,12 @@ class ExperimentMetrics:
     #: The horizon the throughput metrics divide by: the configured duration
     #: or the last commit time, whichever is later.
     measurement_horizon: float = 0.0
+    #: Total-latency quantiles (``p50``/``p95``/``p99``) over all terminated
+    #: transactions, from the constant-memory P² sketch.
+    latency_quantiles: Dict[str, float] = field(default_factory=dict)
+    #: Per-lifecycle-stage latency breakdown: stage name ->
+    #: ``{"count", "mean_s", "p95_s"}`` (only stages any transaction reached).
+    stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def failure_pct(self) -> float:
@@ -249,6 +257,50 @@ def _average_latency(transactions: Iterable[Transaction]) -> float:
     if not latencies:
         return 0.0
     return sum(latencies) / len(latencies)
+
+
+def _latency_quantiles(transactions: Iterable[Transaction]) -> Dict[str, float]:
+    """p50/p95/p99 of the total transaction latency (``{}`` without samples)."""
+    sketch = QuantileSketch()
+    for tx in transactions:
+        latency = tx.total_latency
+        if latency is not None:
+            sketch.add(latency)
+    return sketch.as_dict()
+
+
+def _block_times(record: RunRecord) -> BlockTimes:
+    """Block-cut times per channel, for the block-wait/consensus stage split."""
+    if record.channel_records:
+        return {
+            channel.index: {
+                block.number: block.created_at for block in channel.record.ledger.blocks
+            }
+            for channel in record.channel_records
+        }
+    return {None: {block.number: block.created_at for block in record.ledger.blocks}}
+
+
+def _stage_latency(record: RunRecord) -> Dict[str, Dict[str, float]]:
+    """Per-lifecycle-stage latency summary over every recorded transaction."""
+    block_times = _block_times(record)
+    samples: Dict[str, List[float]] = {}
+    for tx in record.transactions:
+        created_at = None
+        if tx.block_number is not None:
+            created_at = block_times.get(tx.channel, {}).get(tx.block_number)
+        for stage, duration in stage_durations(tx, created_at).items():
+            samples.setdefault(stage, []).append(duration)
+    ordered = [stage for stage in LIFECYCLE_STAGES if stage in samples]
+    ordered += sorted(stage for stage in samples if stage not in LIFECYCLE_STAGES)
+    return {
+        stage: {
+            "count": float(len(samples[stage])),
+            "mean_s": sum(samples[stage]) / len(samples[stage]),
+            "p95_s": percentile(samples[stage], 0.95),
+        }
+        for stage in ordered
+    }
 
 
 def _function_call_latencies(transactions: Iterable[Transaction]) -> Dict[str, float]:
@@ -353,4 +405,6 @@ def compute_metrics(
         committed_requests=committed_requests,
         fault_injections=dict(record.fault_injections),
         measurement_horizon=horizon,
+        latency_quantiles=_latency_quantiles(record.transactions),
+        stage_latency=_stage_latency(record),
     )

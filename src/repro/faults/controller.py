@@ -52,6 +52,10 @@ class FaultController:
         #: cut here.
         self.on_orderer_restored: Optional[Callable[[], None]] = None
         self.armed = False
+        #: Optional observability hook, invoked as ``observer(self, injection)``
+        #: after every applied injection (set by the run observer to record
+        #: fault-window markers in exported traces).
+        self.observer: Optional[Callable[["FaultController", FaultInjection], None]] = None
         self.injections_applied: Dict[str, int] = {}
         self.lost_endorsements = 0
         self.deferred_deliveries = 0
@@ -68,6 +72,8 @@ class FaultController:
     def _apply(self, injection: FaultInjection) -> None:
         kind = injection.kind
         self.injections_applied[kind.value] = self.injections_applied.get(kind.value, 0) + 1
+        if self.observer is not None:
+            self.observer(self, injection)
         if kind is FaultKind.PEER_CRASH:
             self._down_peers.add(injection.target)
         elif kind is FaultKind.PEER_RECOVER:

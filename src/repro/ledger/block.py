@@ -76,14 +76,28 @@ class EndorsementResponse:
     org_name: str
     rwset: ReadWriteSet
     completed_at: float
+    #: When the proposal reached the peer (the endorsement leg's start time).
+    received_at: Optional[float] = None
 
 
 _tx_counter = itertools.count()
 
 
 def next_transaction_id(prefix: str = "tx") -> str:
-    """Globally unique, monotonically increasing transaction identifier."""
+    """Monotonically increasing transaction identifier (unique within a run)."""
     return f"{prefix}-{next(_tx_counter):08d}"
+
+
+def reset_transaction_ids() -> None:
+    """Restart the identifier sequence at ``tx-00000000``.
+
+    Called once per experiment repetition so transaction ids are a
+    deterministic function of the run, not of process history — the property
+    behind byte-identical trace exports across repeated runs and across the
+    serial and parallel runner paths.
+    """
+    global _tx_counter
+    _tx_counter = itertools.count()
 
 
 @dataclass
@@ -117,6 +131,10 @@ class Transaction:
     endorsement_completed_at: Optional[float] = None
 
     # Ordering phase -------------------------------------------------------
+    #: Two-phase prepare window at the cross-channel coordinator (both
+    #: ``None`` for ordinary single-channel transactions).
+    prepare_started_at: Optional[float] = None
+    prepare_completed_at: Optional[float] = None
     arrived_at_orderer_at: Optional[float] = None
     ordered_at: Optional[float] = None
     block_number: Optional[int] = None

@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.faults.spec import FaultConfig
 from repro.ledger.kvstore import COUCHDB_PROFILE, LEVELDB_PROFILE, DatabaseLatencyProfile
 from repro.lifecycle.retry import RetryConfig
+from repro.observability.config import ObservabilityConfig
 
 
 class DatabaseType(enum.Enum):
@@ -184,6 +185,11 @@ class NetworkConfig:
     #: simulator event is ever created, keeping no-fault runs bit-identical
     #: to a build without the fault subsystem.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Tracing/metrics collection (see :mod:`repro.observability`).  Off by
+    #: default, and *never* part of the experiment cell hash: observation does
+    #: not influence the simulation, so tracing a cell keeps its identity,
+    #: per-repetition seeds and results bit-identical.
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     timing: TimingProfile = field(default_factory=TimingProfile)
 
     def __post_init__(self) -> None:
@@ -252,6 +258,7 @@ class NetworkConfig:
             )
         self.retry.validate()
         self.faults.validate()
+        self.observability.validate()
         for channel, _start, _duration in self.faults.partitions:
             if channel >= self.channels:
                 raise ConfigurationError(

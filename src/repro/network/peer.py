@@ -102,7 +102,11 @@ class Peer:
             # past the client's watchdog it becomes an ENDORSEMENT_TIMEOUT.
             service_time *= self.faults.endorsement_factor(self.name)
         response = EndorsementResponse(
-            peer_name=self.name, org_name=self.org_name, rwset=stub.rwset, completed_at=0.0
+            peer_name=self.name,
+            org_name=self.org_name,
+            rwset=stub.rwset,
+            completed_at=0.0,
+            received_at=self.sim.now,
         )
         self.endorsements_served += 1
 

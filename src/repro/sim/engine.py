@@ -476,6 +476,11 @@ class Simulator:
         self.run(until=None)
 
     # ---------------------------------------------------------------- profiling
+    @property
+    def profiler_attached(self) -> bool:
+        """True while a profiler observes this simulator (only one may)."""
+        return self._profiler is not None
+
     def attach_profiler(self, profiler: "EngineProfiler") -> None:
         """Install ``profiler`` to observe dispatch batches (one at a time)."""
         if self._profiler is not None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 class OnlineStats:
@@ -110,6 +110,140 @@ class TimeWeightedStats:
         if duration <= 0:
             return self._last_value
         return weighted / duration
+
+
+class P2Quantile:
+    """Single-quantile estimator using the P² algorithm (Jain & Chlamtac 1985).
+
+    Tracks one quantile of a stream in O(1) memory and O(1) time per sample —
+    five markers whose heights approximate the quantile curve — without
+    storing samples and, crucially for the simulation, without drawing from
+    any RNG (a reservoir sketch would perturb the deterministic streams).
+    The first five samples are kept exactly, so small runs report the same
+    value as :func:`percentile`.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"quantile fraction must be in (0, 1), got {fraction}")
+        self.fraction = fraction
+        self.count = 0
+        self._initial: List[float] = []
+        self._q: List[float] = []  # marker heights
+        self._n: List[float] = []  # marker positions (1-based)
+        self._np: List[float] = []  # desired marker positions
+        f = fraction
+        self._dn = (0.0, f / 2.0, f, (1.0 + f) / 2.0, 1.0)
+
+    def add(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(value)
+            if self.count == 5:
+                self._initial.sort()
+                f = self.fraction
+                self._q = list(self._initial)
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._np = [1.0, 1.0 + 2.0 * f, 1.0 + 4.0 * f, 3.0 + 2.0 * f, 5.0]
+            return
+        q, n = self._q, self._n
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= q[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            n[index] += 1.0
+        for index in range(5):
+            self._np[index] += self._dn[index]
+        for index in (1, 2, 3):
+            drift = self._np[index] - n[index]
+            if (drift >= 1.0 and n[index + 1] - n[index] > 1.0) or (
+                drift <= -1.0 and n[index - 1] - n[index] < -1.0
+            ):
+                step = 1.0 if drift >= 0.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if q[index - 1] < candidate < q[index + 1]:
+                    q[index] = candidate
+                else:
+                    q[index] = self._linear(index, step)
+                n[index] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate of the tracked quantile (``nan`` before any sample)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5:
+            return percentile(self._initial, self.fraction)
+        return self._q[2]
+
+
+#: The default quantiles the metrics layer reports.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class QuantileSketch:
+    """A bundle of :class:`P2Quantile` estimators (p50/p95/p99 by default).
+
+    The constant-memory companion of :class:`OnlineStats`: where OnlineStats
+    tracks mean and variance, the sketch tracks the latency tail — without
+    storing the sample list, so it can run inside the metrics registry for
+    arbitrarily long simulations.
+    """
+
+    def __init__(self, fractions: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        if not fractions:
+            raise ValueError("a quantile sketch needs at least one fraction")
+        self._estimators = {fraction: P2Quantile(fraction) for fraction in fractions}
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Add one sample to every tracked quantile."""
+        self.count += 1
+        for estimator in self._estimators.values():
+            estimator.add(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def fractions(self) -> Tuple[float, ...]:
+        """The tracked quantile fractions, in construction order."""
+        return tuple(self._estimators)
+
+    def quantile(self, fraction: float) -> float:
+        """Current estimate of one tracked quantile (``KeyError`` if untracked)."""
+        return self._estimators[fraction].value
+
+    def as_dict(self) -> Dict[str, float]:
+        """Estimates keyed ``"p50"``-style (JSON-friendly; ``{}`` when empty)."""
+        if self.count == 0:
+            return {}
+        return {
+            f"p{fraction * 100:g}": estimator.value
+            for fraction, estimator in self._estimators.items()
+        }
 
 
 def mean(values: Iterable[float]) -> float:

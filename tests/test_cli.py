@@ -486,3 +486,147 @@ def test_parser_still_accepts_finite_duration_and_rate():
     args = parser.parse_args(["run", "--duration", "12.5", "--rate", "250"])
     assert args.duration == 12.5
     assert args.rate == 250.0
+
+
+# -------------------------------------------------------------- observability
+RUN_TRACE_ARGS = [
+    "run",
+    "--chaincode",
+    "EHR",
+    "--rate",
+    "40",
+    "--duration",
+    "2",
+]
+
+
+def test_run_trace_out_writes_a_chrome_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    exit_code = main(RUN_TRACE_ARGS + ["--trace-out", str(trace)])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Critical path (committed transactions)" in captured.out
+    document = json.loads(trace.read_text())
+    events = document["traceEvents"]
+    assert isinstance(events, list) and events
+    phases = {event["ph"] for event in events}
+    assert {"X", "M"} <= phases
+    roots = [event for event in events if event.get("cat") == "tx"]
+    assert roots, "no transaction attempt spans in the trace"
+    assert all("tx_id" in event["args"] for event in roots)
+
+
+def test_run_metrics_out_writes_summary_series_and_markers(tmp_path, capsys):
+    metrics = tmp_path / "metrics.json"
+    exit_code = main(RUN_TRACE_ARGS + ["--metrics-out", str(metrics)])
+    capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(metrics.read_text())
+    assert {"summary", "series", "markers"} <= set(document)
+    assert document["series"], "the sampler produced no rows"
+    assert "tps" in document["series"][-1]
+
+
+def test_run_json_reports_quantiles_and_stage_latency(capsys):
+    exit_code = main(RUN_TRACE_ARGS + ["--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    result = json.loads(captured.out)["result"]
+    assert {"p50", "p95", "p99"} <= set(result["latency_quantiles_s"])
+    assert "endorse" in result["stage_latency_s"]
+    assert result["stage_latency_s"]["endorse"]["count"] > 0
+
+
+def test_run_json_with_trace_out_includes_critical_path_and_exports(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    exit_code = main(RUN_TRACE_ARGS + ["--json", "--trace-out", str(trace)])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["critical_path"]["committed"] > 0
+    assert document["exports"]["trace"] == str(trace)
+
+
+def test_trace_summary_reports_the_critical_path(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(RUN_TRACE_ARGS + ["--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    exit_code = main(["trace", "summary", str(trace)])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "committed transactions:" in captured.out
+    assert "dominant" in captured.out
+
+
+def test_trace_summary_json_output(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(RUN_TRACE_ARGS + ["--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    exit_code = main(["trace", "summary", str(trace), "--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    report = json.loads(captured.out)
+    assert report["committed"] > 0
+    assert all("stage" in row for row in report["stages"])
+
+
+def test_trace_summary_of_missing_file_exits_2(capsys):
+    exit_code = main(["trace", "summary", "/tmp/definitely-not-a-trace.json"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "does not exist" in captured.err
+
+
+def test_trace_summary_of_non_trace_file_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{\"not\": \"a trace\"}")
+    exit_code = main(["trace", "summary", str(bogus)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "not a Chrome trace-event file" in captured.err
+
+
+def test_trace_out_into_missing_directory_exits_2(capsys):
+    exit_code = main(RUN_TRACE_ARGS + ["--trace-out", "/nonexistent/dir/trace.json"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "--trace-out" in captured.err
+
+
+def test_metrics_out_onto_a_directory_exits_2(tmp_path, capsys):
+    exit_code = main(RUN_TRACE_ARGS + ["--metrics-out", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "--metrics-out" in captured.err
+
+
+def test_sweep_trace_out_merges_cells_and_bypasses_the_cache(tmp_path, capsys):
+    trace = tmp_path / "sweep-trace.json"
+    metrics = tmp_path / "sweep-metrics.json"
+    exit_code = main(
+        [
+            "sweep",
+            "--chaincode",
+            "EHR",
+            "--variant",
+            "fabric-1.4",
+            "--rates",
+            "30",
+            "60",
+            "--duration",
+            "1",
+            "--trace-out",
+            str(trace),
+            "--metrics-out",
+            str(metrics),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "bypass" in captured.err.lower()
+    document = json.loads(trace.read_text())
+    pids = {event["pid"] for event in document["traceEvents"]}
+    assert len(pids) == 2, "expected one trace process per sweep cell"
+    cells = json.loads(metrics.read_text())["cells"]
+    assert len(cells) == 2
+    assert all("summary" in cell for cell in cells)

@@ -8,7 +8,14 @@ import statistics
 import pytest
 
 from repro.sim.rng import RandomStreams
-from repro.sim.stats import OnlineStats, TimeWeightedStats, percentile
+from repro.sim.stats import (
+    DEFAULT_QUANTILES,
+    OnlineStats,
+    P2Quantile,
+    QuantileSketch,
+    TimeWeightedStats,
+    percentile,
+)
 
 
 # ------------------------------------------------------------------ RandomStreams
@@ -132,3 +139,101 @@ def test_percentile_single_value():
 def test_percentile_rejects_bad_fraction():
     with pytest.raises(ValueError):
         percentile([1.0], 1.5)
+
+
+# ------------------------------------------------------------------- P2Quantile
+def test_p2_quantile_rejects_fractions_outside_unit_interval():
+    for fraction in (0.0, 1.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            P2Quantile(fraction)
+
+
+def test_p2_quantile_is_nan_before_any_sample():
+    assert math.isnan(P2Quantile(0.5).value)
+
+
+def test_p2_quantile_is_exact_for_up_to_five_samples():
+    samples = [9.0, 1.0, 5.0, 3.0, 7.0]
+    for n in range(1, 6):
+        estimator = P2Quantile(0.5)
+        for value in samples[:n]:
+            estimator.add(value)
+        assert estimator.value == percentile(samples[:n], 0.5)
+
+
+@pytest.mark.parametrize("fraction", [0.5, 0.95, 0.99])
+@pytest.mark.parametrize("seed", [1, 7, 99])
+def test_p2_quantile_tracks_exact_percentile_on_large_streams(fraction, seed):
+    import random
+
+    rng = random.Random(seed)
+    samples = [rng.expovariate(1.0) for _ in range(5000)]
+    estimator = P2Quantile(fraction)
+    for value in samples:
+        estimator.add(value)
+    exact = percentile(samples, fraction)
+    # P² is an approximation; for 5k exponential samples it lands within a
+    # few percent of the exact order statistic at every tracked fraction.
+    assert abs(estimator.value - exact) <= 0.05 * max(exact, 1.0)
+
+
+def test_p2_quantile_is_deterministic():
+    import random
+
+    samples = [random.Random(3).gauss(0.0, 1.0) for _ in range(1000)]
+    first = P2Quantile(0.95)
+    second = P2Quantile(0.95)
+    for value in samples:
+        first.add(value)
+        second.add(value)
+    assert first.value == second.value
+
+
+def test_p2_quantile_estimates_are_ordered_across_fractions():
+    import random
+
+    rng = random.Random(11)
+    p50, p95, p99 = P2Quantile(0.5), P2Quantile(0.95), P2Quantile(0.99)
+    for _ in range(2000):
+        value = rng.lognormvariate(0.0, 1.0)
+        p50.add(value)
+        p95.add(value)
+        p99.add(value)
+    assert p50.value <= p95.value <= p99.value
+
+
+def test_p2_quantile_handles_constant_streams():
+    estimator = P2Quantile(0.9)
+    for _ in range(100):
+        estimator.add(4.2)
+    assert estimator.value == 4.2
+
+
+# ---------------------------------------------------------------- QuantileSketch
+def test_quantile_sketch_default_fractions_and_empty_dict():
+    sketch = QuantileSketch()
+    assert sketch.fractions == DEFAULT_QUANTILES
+    assert sketch.as_dict() == {}
+    assert sketch.count == 0
+
+
+def test_quantile_sketch_requires_at_least_one_fraction():
+    with pytest.raises(ValueError):
+        QuantileSketch(())
+
+
+def test_quantile_sketch_reports_p_keys():
+    sketch = QuantileSketch()
+    sketch.extend(float(n) for n in range(1, 101))
+    summary = sketch.as_dict()
+    assert sorted(summary) == ["p50", "p95", "p99"]
+    assert summary["p50"] == sketch.quantile(0.5)
+    assert 45.0 <= summary["p50"] <= 55.0
+    assert summary["p95"] >= summary["p50"]
+
+
+def test_quantile_sketch_unknown_fraction_raises():
+    sketch = QuantileSketch((0.5,))
+    sketch.add(1.0)
+    with pytest.raises(KeyError):
+        sketch.quantile(0.95)
