@@ -12,10 +12,18 @@ through :class:`~repro.sim.profile.EngineProfiler`) record the wall-clock and
 events/sec the calendar engine sustains when every event carries real
 endorsement, ordering and validation work.
 
+A second pair of cells measures the sharded execution path
+(:class:`~repro.channels.sharded.ShardedChannelNetwork`): the same 8-channel
+deployment with ``cross_channel_rate=0`` runs once on the shared clock and
+once sharded across worker processes, and their merged records must compare
+bit-identical before the sharded events/sec is allowed to count.
+
 The run records all cells to ``BENCH_engine_speed.json`` at the repo root and
-asserts the acceptance bar in-test: the calendar engine must sustain at least
-``SPEEDUP_FLOOR``x the events/sec of the heapq reference on the
-1M-transaction cascade.
+asserts the acceptance bars in-test: the calendar engine must sustain at
+least ``SPEEDUP_FLOOR``x the events/sec of the heapq reference on the
+1M-transaction cascade, and on machines with ``SHARDED_MIN_CORES`` or more
+cores the sharded 8-channel cell must sustain ``SHARDED_SPEEDUP_FLOOR``x the
+single-process 8-channel cell.
 """
 
 from __future__ import annotations
@@ -26,10 +34,13 @@ from pathlib import Path
 from repro.bench.enginespeed import cascade_cell
 from repro.chaincode import create_chaincode
 from repro.channels.network import MultiChannelNetwork
+from repro.channels.sharded import ShardedChannelNetwork, record_fingerprint
 from repro.fabric.variant import create_variant
+from repro.ledger.block import reset_transaction_ids
 from repro.network.config import NetworkConfig
 from repro.network.network import FabricNetwork
 from repro.sim.profile import EngineProfiler
+from repro.sim.shard import ExecutionConfig, available_cores
 from repro.workload.workloads import uniform_workload
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -45,6 +56,24 @@ NETWORK_CHANNELS = (1, 8)
 NETWORK_ARRIVAL_RATE_PER_CHANNEL = 400.0
 NETWORK_DURATION = 15.0
 NETWORK_SEED = 11
+
+#: The sharded headline pair: 8 independent channels (``cross_channel_rate=0``),
+#: shared clock vs one worker process per shard.
+SHARDED_CHANNELS = 8
+#: Acceptance: sharded over shared-clock events/sec on the rate-0 cell, only
+#: asserted on machines with enough cores for the fan-out to mean anything.
+SHARDED_SPEEDUP_FLOOR = 2.0
+SHARDED_MIN_CORES = 4
+
+
+# Module-level factories so the sharded configuration stays picklable.
+def make_chaincode():
+    spec = uniform_workload("EHR", patients=40)
+    return create_chaincode(spec.chaincode, **spec.chaincode_kwargs)
+
+
+def make_variant():
+    return create_variant("fabric-1.4")
 
 
 def network_cell(channels: int) -> dict:
@@ -99,6 +128,62 @@ def network_cell(channels: int) -> dict:
     }
 
 
+def rate0_cell(sharded: bool) -> tuple:
+    """Run the 8-channel rate-0 deployment; returns ``(row, record)``.
+
+    Same load shape as :func:`network_cell` but with zero cross-channel
+    traffic, so the topology partitions into 8 independent shards and the
+    sharded path can distribute them across worker processes.
+    """
+    spec = uniform_workload("EHR", patients=40)
+    arrival_rate = NETWORK_ARRIVAL_RATE_PER_CHANNEL * SHARDED_CHANNELS
+    execution = ExecutionConfig(shard_workers=0) if sharded else ExecutionConfig()
+    config = NetworkConfig(
+        cluster="C1",
+        orgs=2,
+        peers_per_org=2,
+        clients=4,
+        block_size=10,
+        database="leveldb",
+        channels=SHARDED_CHANNELS,
+        cross_channel_rate=0.0,
+        execution=execution,
+    )
+    reset_transaction_ids()
+    if sharded:
+        network = ShardedChannelNetwork(
+            config, chaincode_factory=make_chaincode, variant_factory=make_variant,
+            seed=NETWORK_SEED,
+        )
+        record = network.run(spec.mix, arrival_rate=arrival_rate, duration=NETWORK_DURATION)
+        report = network.engine_summary
+        workers = network.shard_workers_used
+    else:
+        network = MultiChannelNetwork(
+            config, chaincode_factory=make_chaincode, variant_factory=make_variant,
+            seed=NETWORK_SEED,
+        )
+        with EngineProfiler(network.sim) as profiler:
+            record = network.run(spec.mix, arrival_rate=arrival_rate, duration=NETWORK_DURATION)
+        report = profiler.report()
+        workers = 1
+    row = {
+        "cell": f"network-{SHARDED_CHANNELS}ch-rate0" + ("-sharded" if sharded else ""),
+        "engine": "calendar",
+        "execution": record.execution,
+        "channels": SHARDED_CHANNELS,
+        "shard_workers": workers,
+        "arrival_rate": arrival_rate,
+        "duration": NETWORK_DURATION,
+        "transactions": len(record.transactions),
+        "events": report["events"],
+        "wall_seconds": report["wall_seconds"],
+        "events_per_sec": report["events_per_sec"],
+        "max_queue_depth": report["max_queue_depth"],
+    }
+    return row, record
+
+
 def test_engine_speed_grid_and_record():
     rows = []
 
@@ -125,6 +210,21 @@ def test_engine_speed_grid_and_record():
             f"{row['transactions']:,} transactions)"
         )
 
+    cores = available_cores()
+    shared_row, shared_record = rate0_cell(sharded=False)
+    sharded_row, sharded_record = rate0_cell(sharded=True)
+    sharded_speedup = sharded_row["events_per_sec"] / shared_row["events_per_sec"]
+    for row in (shared_row, sharded_row):
+        rows.append(row)
+        print(
+            f"{row['cell']}: {row['events']:>9,} events in {row['wall_seconds']:7.2f}s "
+            f"({row['events_per_sec']:>9,.0f} ev/s, {row['shard_workers']} workers)"
+        )
+    print(
+        f"sharded speedup: {sharded_speedup:.2f}x on {cores} cores "
+        f"(floor {SHARDED_SPEEDUP_FLOOR}x when cores >= {SHARDED_MIN_CORES})"
+    )
+
     record = {
         "benchmark": "engine_speed",
         "grid": {
@@ -133,8 +233,13 @@ def test_engine_speed_grid_and_record():
             "network_arrival_rate_per_channel": NETWORK_ARRIVAL_RATE_PER_CHANNEL,
             "network_duration": NETWORK_DURATION,
             "speedup_floor": SPEEDUP_FLOOR,
+            "sharded_channels": SHARDED_CHANNELS,
+            "sharded_speedup_floor": SHARDED_SPEEDUP_FLOOR,
+            "sharded_min_cores": SHARDED_MIN_CORES,
         },
         "cascade_speedup": speedup,
+        "sharded_speedup": sharded_speedup,
+        "cores": cores,
         "rows": rows,
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
@@ -148,3 +253,14 @@ def test_engine_speed_grid_and_record():
         f"({cascade['calendar']['events_per_sec']:,.0f} vs "
         f"{cascade['heapq-reference']['events_per_sec']:,.0f}); floor is {SPEEDUP_FLOOR}x"
     )
+
+    # Sharded acceptance: identical answers everywhere; >= 2x events/sec over
+    # the shared clock wherever the fan-out has cores to land on.
+    assert record_fingerprint(sharded_record) == record_fingerprint(shared_record)
+    if cores >= SHARDED_MIN_CORES:
+        assert sharded_speedup >= SHARDED_SPEEDUP_FLOOR, (
+            f"sharded execution sustained only {sharded_speedup:.2f}x the shared "
+            f"clock ({sharded_row['events_per_sec']:,.0f} vs "
+            f"{shared_row['events_per_sec']:,.0f} ev/s) on {cores} cores; "
+            f"floor is {SHARDED_SPEEDUP_FLOOR}x"
+        )

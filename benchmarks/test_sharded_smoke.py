@@ -1,0 +1,106 @@
+"""Smoke guard for sharded multi-process execution (always-on, tier-1).
+
+A fast version of the sharded cells in ``bench_engine_speed.py``: one
+2-channel, ~30k-transaction deployment with ``cross_channel_rate=0`` runs
+once on the shared clock and once sharded across worker processes.  Two
+assertions guard the two halves of the tentpole contract:
+
+* **bit identity, unconditionally** — the sharded merge reproduces the
+  shared-clock run fingerprint-for-fingerprint on every machine, including
+  single-core CI runners;
+* **speed, when cores exist** — with at least 2 physical cores the sharded
+  run must sustain ``SMOKE_SPEEDUP_FLOOR``x the shared clock's events/sec.
+  The floor (1.5x on 2 shards) sits well under the ideal 2x to absorb noisy
+  shared runners; the full bench asserts the real 2x bar on 8 channels.
+"""
+
+from __future__ import annotations
+
+from repro.chaincode import create_chaincode
+from repro.channels.network import MultiChannelNetwork
+from repro.channels.sharded import ShardedChannelNetwork, record_fingerprint
+from repro.fabric.variant import create_variant
+from repro.ledger.block import reset_transaction_ids
+from repro.network.config import NetworkConfig
+from repro.sim.profile import EngineProfiler
+from repro.sim.shard import ExecutionConfig, available_cores
+from repro.workload.workloads import uniform_workload
+
+SMOKE_CHANNELS = 2
+SMOKE_ARRIVAL_RATE_PER_CHANNEL = 1000.0
+SMOKE_DURATION = 15.0  # ~30k transactions across the two channels
+SMOKE_SEED = 11
+SMOKE_SPEEDUP_FLOOR = 1.5
+
+
+# Module-level factories so the sharded configuration stays picklable.
+def make_chaincode():
+    spec = uniform_workload("EHR", patients=40)
+    return create_chaincode(spec.chaincode, **spec.chaincode_kwargs)
+
+
+def make_variant():
+    return create_variant("fabric-1.4")
+
+
+def smoke_config(execution: ExecutionConfig) -> NetworkConfig:
+    return NetworkConfig(
+        cluster="C1",
+        orgs=2,
+        peers_per_org=2,
+        clients=4,
+        block_size=10,
+        database="leveldb",
+        channels=SMOKE_CHANNELS,
+        cross_channel_rate=0.0,
+        execution=execution,
+    )
+
+
+def run_smoke_cell(sharded: bool):
+    """Run the smoke deployment; returns ``(record, events_per_sec)``."""
+    spec = uniform_workload("EHR", patients=40)
+    arrival_rate = SMOKE_ARRIVAL_RATE_PER_CHANNEL * SMOKE_CHANNELS
+    reset_transaction_ids()
+    if sharded:
+        network = ShardedChannelNetwork(
+            smoke_config(ExecutionConfig(shard_workers=0)),
+            chaincode_factory=make_chaincode,
+            variant_factory=make_variant,
+            seed=SMOKE_SEED,
+        )
+        record = network.run(spec.mix, arrival_rate=arrival_rate, duration=SMOKE_DURATION)
+        return record, network.engine_summary["events_per_sec"]
+    network = MultiChannelNetwork(
+        smoke_config(ExecutionConfig()),
+        chaincode_factory=make_chaincode,
+        variant_factory=make_variant,
+        seed=SMOKE_SEED,
+    )
+    with EngineProfiler(network.sim) as profiler:
+        record = network.run(spec.mix, arrival_rate=arrival_rate, duration=SMOKE_DURATION)
+    return record, profiler.report()["events_per_sec"]
+
+
+def test_sharded_execution_smoke():
+    shared_record, shared_speed = run_smoke_cell(sharded=False)
+    sharded_record, sharded_speed = run_smoke_cell(sharded=True)
+
+    # Identity first: speed means nothing if the answer changed.
+    assert sharded_record.execution == "sharded"
+    assert sharded_record.shard_count == SMOKE_CHANNELS
+    assert record_fingerprint(sharded_record) == record_fingerprint(shared_record)
+    assert len(sharded_record.transactions) == len(shared_record.transactions)
+
+    speedup = sharded_speed / shared_speed
+    cores = available_cores()
+    print(
+        f"sharded smoke: {sharded_speed:,.0f} ev/s vs shared {shared_speed:,.0f} ev/s "
+        f"({speedup:.2f}x on {cores} cores, floor {SMOKE_SPEEDUP_FLOOR}x when cores >= 2)"
+    )
+    if cores >= 2:
+        assert speedup >= SMOKE_SPEEDUP_FLOOR, (
+            f"sharded execution sustained only {speedup:.2f}x the shared clock "
+            f"({sharded_speed:,.0f} vs {shared_speed:,.0f} ev/s) on {cores} cores; "
+            f"smoke floor is {SMOKE_SPEEDUP_FLOOR}x"
+        )

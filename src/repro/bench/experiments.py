@@ -1687,8 +1687,10 @@ EXPERIMENT_SPECS = {
         "jittered retries outlast transient faults and recover lost requests",
     ),
     "engine-speed": ExperimentSpec(
-        "extension", ("engine", "transactions"), "simulator substrate",
-        "the calendar-queue engine sustains >= 3x the events/sec of the heapq reference",
+        "extension", ("engine", "transactions", "execution"), "simulator substrate",
+        "the calendar-queue engine sustains >= 3x the events/sec of the heapq reference; "
+        "sharding independent channels across worker processes adds >= 2x on the "
+        "8-channel rate-0 cell (4+ cores) with bit-identical results",
     ),
 }
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional
 
 from repro.sim.rng import derive_seed
+from repro.sim.shard import ExecutionConfig
 
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
 from repro.chaincode.base import Chaincode
@@ -126,12 +127,23 @@ def _canonical(value):
     seeds and its results bit-identical to the untraced cell.  (Consequence:
     cached sweep results carry no trace data, so the sweep CLI bypasses the
     result cache when an export is requested.)
+
+    An :class:`~repro.sim.shard.ExecutionConfig` is omitted unless it selects
+    *conservative* epoch execution: sharding independent channels across
+    worker processes is bit-identical to the shared-clock run (the contract
+    the golden bit-identity suite pins), so the execution strategy is not
+    part of a cell's identity — but the conservative engine has distinct
+    epoch semantics and therefore its own hash.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _canonical(getattr(value, field.name))
             for field in dataclasses.fields(value)
             if not isinstance(getattr(value, field.name), ObservabilityConfig)
+            and not (
+                isinstance(getattr(value, field.name), ExecutionConfig)
+                and not getattr(value, field.name).conservative
+            )
             and not (
                 isinstance(getattr(value, field.name), (RetryConfig, FaultConfig))
                 and not getattr(value, field.name).enabled

@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bench.harness import ExperimentConfig, ExperimentResult, run_repetition
 from repro.core.analyzer import ExperimentAnalysis
 from repro.errors import ConfigurationError
+from repro.sim.shard import PROCESS_BUDGET_ENV, planned_shard_processes, process_budget
 
 #: A progress hook receives a :class:`ProgressEvent` after every finished task.
 ProgressHook = Callable[["ProgressEvent"], None]
@@ -419,7 +420,33 @@ class ExperimentRunner:
             pickle.dumps([(task.config, task.repetition) for task in misses])
         except Exception:
             return 1
-        return min(self.workers, len(misses))
+        return min(self.workers, len(misses), self._budget_cap(misses))
+
+    @staticmethod
+    def _task_footprint(task: _Task) -> int:
+        """Processes one repetition of ``task`` occupies (itself + shards)."""
+        network = task.config.network
+        return planned_shard_processes(
+            channels=network.channels,
+            cross_channel_rate=network.cross_channel_rate,
+            execution=network.execution,
+        )
+
+    def _budget_cap(self, misses: Sequence[_Task]) -> int:
+        """Runner workers allowed under the shared process budget.
+
+        Runner workers multiply with the per-repetition shard workers
+        (:mod:`repro.sim.shard`), so when any task fans out the pool is sized
+        such that ``workers * max(task footprint) <= process_budget()``.  At
+        least one worker always runs — a single over-wide task degrades to
+        serial execution rather than failing.  Batches of plain (footprint 1)
+        tasks are never capped: an explicitly requested worker count is
+        honored even on narrow machines, exactly as before sharding existed.
+        """
+        footprint = max((self._task_footprint(task) for task in misses), default=1)
+        if footprint <= 1:
+            return self.workers
+        return max(1, process_budget() // footprint)
 
     def _execute(self, misses: Sequence[_Task], workers: int):
         """Yield ``(task, analysis)`` pairs in task order."""
@@ -428,9 +455,21 @@ class ExperimentRunner:
                 yield task, _execute_task(task.config, task.repetition, task.cell_hash)
             return
         arguments = [(task.config, task.repetition, task.cell_hash) for task in misses]
-        with multiprocessing.Pool(processes=workers) as pool:
-            for task, analysis in zip(misses, pool.imap(_execute_star, arguments)):
-                yield task, analysis
+        # Each pool worker inherits its slice of the process budget, so a
+        # sharded repetition inside a worker cannot fan out past the global
+        # cap (workers × shard processes <= budget).
+        budget = process_budget()
+        previous = os.environ.get(PROCESS_BUDGET_ENV)
+        os.environ[PROCESS_BUDGET_ENV] = str(max(1, budget // workers))
+        try:
+            with multiprocessing.Pool(processes=workers) as pool:
+                for task, analysis in zip(misses, pool.imap(_execute_star, arguments)):
+                    yield task, analysis
+        finally:
+            if previous is None:
+                os.environ.pop(PROCESS_BUDGET_ENV, None)
+            else:
+                os.environ[PROCESS_BUDGET_ENV] = previous
 
     def _report_progress(self, completed: int, total: int, cache_hits: int, started: float) -> None:
         if self.progress is None:

@@ -9,13 +9,20 @@ itself abort (the ``CROSS_CHANNEL_ABORT`` failure class).
 
 Entry points: :class:`MultiChannelNetwork` (or simply
 ``ExperimentConfig(network=NetworkConfig(channels=4, ...))`` through the
-benchmark harness), :class:`ChannelTopology` for the placement policies and
+benchmark harness), :class:`ShardedChannelNetwork` for multi-process parallel
+execution of independent channels (``ExecutionConfig(shard_workers=0)``),
+:class:`ChannelTopology` for the placement policies and
 :class:`CrossChannelCoordinator` for the 2PC model.
 """
 
 from repro.channels.channel import Channel, ChannelGateway
 from repro.channels.coordinator import CrossChannelCoordinator
 from repro.channels.network import MultiChannelNetwork
+from repro.channels.sharded import (
+    EpochCoordinator,
+    ShardedChannelNetwork,
+    record_fingerprint,
+)
 from repro.channels.topology import (
     ChannelRouter,
     ChannelTopology,
@@ -28,6 +35,9 @@ __all__ = [
     "ChannelRouter",
     "ChannelTopology",
     "CrossChannelCoordinator",
+    "EpochCoordinator",
     "MultiChannelNetwork",
+    "ShardedChannelNetwork",
     "ShardedKeyDistribution",
+    "record_fingerprint",
 ]

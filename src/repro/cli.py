@@ -69,6 +69,7 @@ from repro.fabric.variant import available_variants
 from repro.faults import FaultConfig, fault_config_summary, parse_fault_spec
 from repro.lifecycle.retry import RetryConfig, available_retry_policies
 from repro.network.config import CLUSTER_PRESETS, PLACEMENT_POLICIES, NetworkConfig
+from repro.sim.shard import ExecutionConfig
 from repro.observability import (
     ObservabilityConfig,
     critical_path_from_trace,
@@ -124,6 +125,28 @@ def _finite_float(kind: str) -> Callable[[str], float]:
 
     parse.__name__ = kind
     return parse
+
+
+def _shard_workers(value: str) -> int:
+    """argparse ``type`` for ``--shard-workers``.
+
+    Valid values: ``0`` (size the worker pool automatically from the process
+    budget), ``1`` (the default shared-clock execution) or a positive worker
+    cap.  Anything else — negatives, floats, non-numbers — exits with code 2
+    and a message listing the valid values, matching the other options.
+    """
+    valid = "valid values: 0 (auto), 1 (shared clock) or a positive worker cap"
+    try:
+        workers = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"shard workers must be an integer, got {value!r}; {valid}"
+        ) from error
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"shard workers must be >= 0, got {workers}; {valid}"
+        )
+    return workers
 
 
 def _fault_spec(value: str) -> FaultConfig:
@@ -273,6 +296,16 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         help="fraction of transactions spanning a second channel (needs --channels >= 2)",
     )
     parser.add_argument(
+        "--shard-workers",
+        type=_shard_workers,
+        default=1,
+        help=(
+            "worker processes for independent channel shards: 0 sizes the pool "
+            "automatically, 1 (default) keeps the shared simulation clock, N >= 2 "
+            "caps the pool (needs --channels >= 2; bit-identical results either way)"
+        ),
+    )
+    parser.add_argument(
         "--retry-policy",
         default="none",
         type=_choice("retry policy", available_retry_policies()),
@@ -384,6 +417,7 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
             channels=args.channels,
             placement=args.placement,
             cross_channel_rate=args.cross_channel_rate,
+            execution=ExecutionConfig(shard_workers=getattr(args, "shard_workers", 1)),
             retry=RetryConfig(
                 policy=args.retry_policy,
                 max_retries=args.max_retries,
@@ -417,6 +451,7 @@ def _config_summary(config: ExperimentConfig) -> dict:
         "channels": network.channels,
         "placement": network.placement,
         "cross_channel_rate": network.cross_channel_rate,
+        "shard_workers": network.execution.shard_workers,
         "retry_policy": network.retry.policy,
         "max_retries": network.retry.max_retries,
         "retry_backoff": network.retry.backoff,
@@ -446,6 +481,8 @@ def _analysis_summary(analysis: ExperimentAnalysis) -> dict:
         "resubmissions": metrics.resubmissions,
         "retry_amplification": metrics.retry_amplification,
         "lifecycle_events": dict(analysis.record.lifecycle_counts),
+        "execution": analysis.record.execution,
+        "shard_count": analysis.record.shard_count,
         "fault_injections": dict(metrics.fault_injections),
         "latency_quantiles_s": dict(metrics.latency_quantiles),
         "stage_latency_s": {
@@ -537,6 +574,10 @@ def _command_run(args: argparse.Namespace) -> int:
     ]
     if args.channels > 1:
         rows.append(("cross-channel aborts (%)", report.cross_channel_abort_pct))
+    if analysis.record.shard_count > 1:
+        rows.append(
+            ("execution", f"{analysis.record.execution} ({analysis.record.shard_count} shards)")
+        )
     if config.network.faults.enabled:
         rows.extend(
             [

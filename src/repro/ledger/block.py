@@ -88,6 +88,31 @@ def next_transaction_id(prefix: str = "tx") -> str:
     return f"{prefix}-{next(_tx_counter):08d}"
 
 
+class TransactionIdAllocator:
+    """An isolated transaction-id sequence (one per channel slice).
+
+    Single-channel runs label transactions from the module-global sequence
+    (:func:`next_transaction_id`).  Multi-channel runs give every channel
+    slice its own allocator with a per-channel prefix (``tx-c<k>-...``), so a
+    channel's ids are a function of that channel's *own* submission order —
+    not of how the channels' events happen to interleave on a shared clock.
+    That locality is what lets the sharded execution path
+    (:mod:`repro.channels.sharded`) run independent channels in separate
+    processes and still merge a :class:`~repro.network.network.RunRecord`
+    bit-identical to the shared-clock run.
+    """
+
+    __slots__ = ("prefix", "_counter")
+
+    def __init__(self, prefix: str = "tx") -> None:
+        self.prefix = prefix
+        self._counter = itertools.count()
+
+    def __call__(self) -> str:
+        """The next identifier of this sequence."""
+        return f"{self.prefix}-{next(self._counter):08d}"
+
+
 def reset_transaction_ids() -> None:
     """Restart the identifier sequence at ``tx-00000000``.
 

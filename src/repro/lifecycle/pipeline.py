@@ -9,10 +9,17 @@ come back wired to a :class:`~repro.lifecycle.events.LifecycleBus` and (when
 the configuration enables it) the retry subsystem, and both expose the same
 ``run(mix, arrival_rate, duration, ...) -> RunRecord`` surface, so callers
 never need to know which shape they received.
+
+Multi-channel configurations whose :class:`~repro.sim.shard.ExecutionConfig`
+opts into sharding (``shard_workers != 1`` or ``conservative=True``) build a
+:class:`~repro.channels.sharded.ShardedChannelNetwork` instead — same ``run``
+surface, bit-identical results for partitionable topologies, worker processes
+underneath.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Union
 
 from repro.chaincode.base import Chaincode
@@ -31,20 +38,29 @@ def build_network(
     ``variant_factory`` accepts either a variant name (resolved through the
     registry, a fresh behaviour per channel slice) or a zero-argument factory.
     Returns a :class:`~repro.network.network.FabricNetwork` for single-channel
-    configurations and a :class:`~repro.channels.network.MultiChannelNetwork`
-    otherwise; both expose the same ``run`` surface and carry a wired
+    configurations, a :class:`~repro.channels.sharded.ShardedChannelNetwork`
+    for multi-channel configurations with sharded execution enabled, and a
+    :class:`~repro.channels.network.MultiChannelNetwork` otherwise; all expose
+    the same ``run`` surface and carry a wired
     :class:`~repro.lifecycle.events.LifecycleBus` as ``.bus``.
     """
     from repro.channels.network import MultiChannelNetwork
+    from repro.channels.sharded import ShardedChannelNetwork
     from repro.network.network import FabricNetwork
 
     if isinstance(variant_factory, str):
-        variant_name = variant_factory
-
-        def variant_factory() -> FabricVariantBehavior:
-            return create_variant(variant_name)
+        # A partial, not a closure: the sharded path pickles the factory into
+        # worker processes, and partials of a module-level function pickle.
+        variant_factory = functools.partial(create_variant, variant_factory)
 
     if config.channels > 1:
+        if config.execution.sharded:
+            return ShardedChannelNetwork(
+                config=config.copy(),
+                chaincode_factory=chaincode_factory,
+                variant_factory=variant_factory,
+                seed=seed,
+            )
         return MultiChannelNetwork(
             config=config.copy(),
             chaincode_factory=chaincode_factory,

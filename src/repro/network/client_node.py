@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import functools
 import random
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.chaincode.base import Chaincode
 from repro.faults.controller import FaultController
@@ -57,6 +57,7 @@ class ClientNode:
         rng: random.Random,
         bus: Optional[LifecycleBus] = None,
         faults: Optional[FaultController] = None,
+        tx_ids: Optional[Callable[[], str]] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -71,6 +72,10 @@ class ClientNode:
         self.rng = rng
         self.bus = bus
         self.faults = faults
+        #: Transaction-id source: the run-global sequence by default, a
+        #: per-channel :class:`~repro.ledger.block.TransactionIdAllocator`
+        #: in multi-channel deployments (see that class for why).
+        self.tx_ids = tx_ids if tx_ids is not None else next_transaction_id
         self.submitted: List[Transaction] = []
         self.read_only_skipped: List[Transaction] = []
         self.resubmitted_count = 0
@@ -97,7 +102,7 @@ class ClientNode:
         """Execution phase, step 1: send a new transaction to the endorsers."""
         request = self.workload.next_request()
         tx = Transaction(
-            tx_id=next_transaction_id(),
+            tx_id=self.tx_ids(),
             client_name=self.name,
             chaincode_name=self.chaincode.name,
             function=request.function,
@@ -116,7 +121,7 @@ class ClientNode:
         failure notification.
         """
         tx = Transaction(
-            tx_id=next_transaction_id(),
+            tx_id=self.tx_ids(),
             client_name=self.name,
             chaincode_name=failed.chaincode_name,
             function=failed.function,

@@ -18,6 +18,7 @@ from repro.faults.spec import FaultConfig
 from repro.ledger.kvstore import COUCHDB_PROFILE, LEVELDB_PROFILE, DatabaseLatencyProfile
 from repro.lifecycle.retry import RetryConfig
 from repro.observability.config import ObservabilityConfig
+from repro.sim.shard import ExecutionConfig
 
 
 class DatabaseType(enum.Enum):
@@ -190,6 +191,12 @@ class NetworkConfig:
     #: not influence the simulation, so tracing a cell keeps its identity,
     #: per-repetition seeds and results bit-identical.
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    #: Parallel-execution strategy for multi-channel runs (see
+    #: :mod:`repro.sim.shard`).  ``shard_workers=1`` (the default) keeps the
+    #: shared-clock path; sharded execution of independent channels is
+    #: bit-identical to it, so a non-conservative execution config is never
+    #: part of the experiment cell hash.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     timing: TimingProfile = field(default_factory=TimingProfile)
 
     def __post_init__(self) -> None:
@@ -259,6 +266,12 @@ class NetworkConfig:
         self.retry.validate()
         self.faults.validate()
         self.observability.validate()
+        self.execution.validate()
+        if self.execution.conservative and self.channels < 2:
+            raise ConfigurationError(
+                "conservative (epoch-synchronized) execution needs at least two "
+                f"channels, got {self.channels}"
+            )
         for channel, _start, _duration in self.faults.partitions:
             if channel >= self.channels:
                 raise ConfigurationError(
@@ -293,6 +306,9 @@ class NetworkConfig:
                 f" channels={self.channels} placement={self.placement} "
                 f"cross={self.cross_channel_rate:.0%}"
             )
+        if self.execution.sharded:
+            mode = "conservative" if self.execution.conservative else "sharded"
+            summary += f" exec={mode}(workers={self.execution.shard_workers})"
         if self.retry.enabled:
             summary += f" retry={self.retry.policy}x{self.retry.max_retries}"
         if self.faults.enabled:

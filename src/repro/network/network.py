@@ -26,7 +26,7 @@ from repro.chaincode.base import Chaincode
 from repro.errors import ConfigurationError
 from repro.faults.controller import FaultController
 from repro.faults.schedule import FaultSchedule
-from repro.ledger.block import Transaction
+from repro.ledger.block import Transaction, TransactionIdAllocator, next_transaction_id
 from repro.ledger.factory import make_state_store
 from repro.ledger.kvstore import VersionedKVStore
 from repro.ledger.ledger import Ledger
@@ -106,6 +106,16 @@ class RunRecord:
     #: Spans, sampled time series and metrics summary of the run (``None``
     #: unless ``config.observability`` is enabled; see :mod:`repro.observability`).
     observability: Optional[ObservabilityData] = None
+    #: How the run executed: ``"shared-clock"`` (one simulator — the default
+    #: and the reference semantics), ``"sharded"`` (independent channels in
+    #: worker processes, bit-identical to shared-clock by contract) or
+    #: ``"sharded-conservative"`` (epoch-synchronized shards — deterministic
+    #: but *distinct* semantics).  Execution metadata: excluded, along with
+    #: ``shard_count``, from bit-identity comparisons.
+    execution: str = "shared-clock"
+    #: Number of independent shards the run was partitioned into (1 = one
+    #: simulator clock).
+    shard_count: int = 1
 
     @property
     def submitted_count(self) -> int:
@@ -184,6 +194,15 @@ class FabricNetwork:
         self.config.validate()
         self.chaincode = chaincode
         self.seed = seed
+        #: Transaction-id source of this deployment: channel slices label
+        #: their own sequence (``tx-c<k>-...``) so ids never depend on how
+        #: sibling channels interleave; single-channel networks keep the
+        #: run-global sequence (and its byte-for-byte historical ids).
+        self.tx_ids = (
+            TransactionIdAllocator(f"tx-c{channel_index}")
+            if channel_index is not None
+            else next_transaction_id
+        )
         self.sim = sim if sim is not None else Simulator()
         self.streams = streams if streams is not None else RandomStreams(seed)
         self.ledger = Ledger()
@@ -349,11 +368,37 @@ class FabricNetwork:
                 rng=rng,
                 bus=self.bus,
                 faults=self.faults,
+                tx_ids=self.tx_ids,
             )
             if self.retry_controller is not None:
                 self.retry_controller.register(client)
             self.clients.append(client)
             client.start(duration)
+
+    def station_loads(self) -> dict:
+        """Raw service-station accumulators of this slice, for remote merges.
+
+        A shard worker's local clock stops at its own last event, but the
+        aggregate record reports utilizations over the *deployment-wide*
+        horizon.  Utilization is linear in accumulated busy time
+        (``min(1, busy / (horizon * servers))`` — see
+        :meth:`repro.sim.resources.ServiceStation.utilization`), so the
+        merge recomputes it bitwise from these raw pairs and the global
+        horizon.  Station order matches :meth:`collect_record`.
+        """
+        station = self.orderer.consensus_station
+        return {
+            "orderer": (station.busy_time, station.servers),
+            "validation": [
+                (peer.validation_station.busy_time, peer.validation_station.servers)
+                for peer in self.peers
+            ],
+            "endorsement": [
+                (peer.endorsement_station.busy_time, peer.endorsement_station.servers)
+                for peer in self.peers
+                if peer.is_endorser
+            ],
+        }
 
     def collect_record(
         self, arrival_rate: float, duration: float, workload_name: str = "custom"

@@ -327,3 +327,136 @@ def make_genchain():
 
 def make_genchain_large():
     return GenChainChaincode(num_keys=200)
+
+
+# ------------------------------------------------------------ process budget
+def _miss(config) -> "_Task":
+    from repro.bench.runner import _Task
+
+    return _Task(config_index=0, repetition=0, config=config, cell_hash=config.cell_hash())
+
+
+def _sharded_config(shard_workers: int = 4) -> ExperimentConfig:
+    from repro.sim.shard import ExecutionConfig
+
+    return tiny_config(
+        network=NetworkConfig(
+            cluster="C1",
+            clients=2,
+            block_size=10,
+            database="leveldb",
+            channels=4,
+            cross_channel_rate=0.0,
+            execution=ExecutionConfig(shard_workers=shard_workers),
+        )
+    )
+
+
+def test_worker_pool_is_capped_by_the_shard_footprint(monkeypatch):
+    from repro.sim.shard import PROCESS_BUDGET_ENV
+
+    monkeypatch.setenv(PROCESS_BUDGET_ENV, "8")
+    runner = ExperimentRunner(workers=8, cache=None)
+    misses = [_miss(_sharded_config(shard_workers=4)) for _ in range(8)]
+    # Each repetition fans out into 4 shard processes, so only 8 // 4 = 2
+    # runner workers fit under the budget of 8 processes.
+    assert runner._budget_cap(misses) == 2
+    assert runner._effective_workers(misses) == 2
+
+
+def test_plain_tasks_do_not_shrink_the_pool(monkeypatch):
+    from repro.sim.shard import PROCESS_BUDGET_ENV
+
+    monkeypatch.setenv(PROCESS_BUDGET_ENV, "2")
+    runner = ExperimentRunner(workers=4, cache=None)
+    misses = [_miss(tiny_config(seed=seed)) for seed in range(4)]
+    # Plain repetitions have footprint 1: the explicit worker request wins,
+    # exactly as it did before sharding existed.
+    assert runner._budget_cap(misses) == 4
+    assert runner._effective_workers(misses) == 4
+
+
+def test_single_over_wide_task_degrades_to_serial(monkeypatch):
+    from repro.sim.shard import PROCESS_BUDGET_ENV
+
+    monkeypatch.setenv(PROCESS_BUDGET_ENV, "2")
+    runner = ExperimentRunner(workers=8, cache=None)
+    misses = [_miss(_sharded_config(shard_workers=8)) for _ in range(4)]
+    # footprint 8 > budget 2: workers * footprint can never fit, so the
+    # runner falls back to one worker instead of refusing to run.
+    assert runner._budget_cap(misses) == 1
+    assert runner._effective_workers(misses) == 1
+
+
+def test_pool_execution_exports_a_budget_slice_to_workers(monkeypatch):
+    import os
+
+    from repro.bench import runner as runner_module
+    from repro.sim.shard import PROCESS_BUDGET_ENV
+
+    monkeypatch.setenv(PROCESS_BUDGET_ENV, "8")
+    seen = {}
+
+    class _FakePool:
+        def __init__(self, processes):
+            seen["workers"] = processes
+            seen["env"] = os.environ.get(PROCESS_BUDGET_ENV)
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def imap(self, func, arguments):
+            return [func(argument) for argument in arguments]
+
+    monkeypatch.setattr(runner_module.multiprocessing, "Pool", _FakePool)
+    runner = ExperimentRunner(workers=2, cache=None)
+    misses = [_miss(tiny_config(seed=seed)) for seed in range(2)]
+    list(runner._execute(misses, workers=2))
+    # The pool saw budget // workers = 4, and the parent's value came back.
+    assert seen["workers"] == 2
+    assert seen["env"] == "4"
+    assert os.environ.get(PROCESS_BUDGET_ENV) == "8"
+
+
+def test_budget_env_is_removed_after_execution_when_previously_unset(monkeypatch):
+    import os
+
+    from repro.bench import runner as runner_module
+    from repro.sim.shard import PROCESS_BUDGET_ENV
+
+    monkeypatch.delenv(PROCESS_BUDGET_ENV, raising=False)
+
+    class _FakePool:
+        def __init__(self, processes):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def imap(self, func, arguments):
+            assert os.environ.get(PROCESS_BUDGET_ENV) is not None
+            return [func(argument) for argument in arguments]
+
+    monkeypatch.setattr(runner_module.multiprocessing, "Pool", _FakePool)
+    runner = ExperimentRunner(workers=2, cache=None)
+    misses = [_miss(tiny_config(seed=seed)) for seed in range(2)]
+    list(runner._execute(misses, workers=2))
+    assert PROCESS_BUDGET_ENV not in os.environ
+
+
+def test_sharded_repetitions_run_under_the_parallel_runner():
+    from repro.channels.sharded import record_fingerprint
+
+    config = _sharded_config(shard_workers=0)
+    parallel = ExperimentRunner(workers=2, cache=None).run(config)
+    serial = ExperimentRunner(workers=1, cache=None).run(config)
+    assert record_fingerprint(parallel.analyses[0].record) == record_fingerprint(
+        serial.analyses[0].record
+    )
+    assert parallel.analyses[0].record.execution == "sharded"

@@ -630,3 +630,70 @@ def test_sweep_trace_out_merges_cells_and_bypasses_the_cache(tmp_path, capsys):
     cells = json.loads(metrics.read_text())["cells"]
     assert len(cells) == 2
     assert all("summary" in cell for cell in cells)
+
+
+# ------------------------------------------------------------- shard workers
+RUN_SHARDED_ARGS = [
+    "run",
+    "--database",
+    "leveldb",
+    "--block-size",
+    "10",
+    "--rate",
+    "60",
+    "--duration",
+    "2",
+    "--channels",
+    "4",
+    "--cross-channel-rate",
+    "0",
+]
+
+
+def test_run_command_shard_workers_auto_shards_the_run(capsys):
+    exit_code = main(RUN_SHARDED_ARGS + ["--shard-workers", "0", "--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["config"]["shard_workers"] == 0
+    assert document["result"]["execution"] == "sharded"
+    assert document["result"]["shard_count"] == 4
+
+
+def test_run_command_defaults_to_the_shared_clock(capsys):
+    exit_code = main(RUN_SHARDED_ARGS + ["--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["config"]["shard_workers"] == 1
+    assert document["result"]["execution"] == "shared-clock"
+    assert document["result"]["shard_count"] == 1
+
+
+def test_run_command_text_output_names_the_execution(capsys):
+    exit_code = main(RUN_SHARDED_ARGS + ["--shard-workers", "0"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "sharded (4 shards)" in captured.out
+
+
+@pytest.mark.parametrize("bad", ["-3", "two", "1.5"])
+def test_run_command_rejects_invalid_shard_workers(bad, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(RUN_SHARDED_ARGS + ["--shard-workers", bad])
+    assert excinfo.value.code == 2
+    captured = capsys.readouterr()
+    assert "shard workers" in captured.err
+    assert "valid values: 0 (auto), 1 (shared clock)" in captured.err
+
+
+def test_sharded_and_shared_clock_runs_print_identical_metrics(capsys):
+    assert main(RUN_SHARDED_ARGS + ["--json"]) == 0
+    shared = json.loads(capsys.readouterr().out)
+    assert main(RUN_SHARDED_ARGS + ["--shard-workers", "0", "--json"]) == 0
+    sharded = json.loads(capsys.readouterr().out)
+    del shared["config"]["shard_workers"], sharded["config"]["shard_workers"]
+    for document in (shared, sharded):
+        document["result"].pop("execution")
+        document["result"].pop("shard_count")
+    assert sharded == shared
