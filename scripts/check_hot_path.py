@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Custom lint guarding the allocation rules of the transaction hot path.
+
+The per-transaction pipeline (endorse -> order -> validate) allocates a
+handful of objects five-plus times per transaction, so two rules keep it
+lean (see "Hot path" in docs/ARCHITECTURE.md):
+
+1. **Slots.**  Every ``@dataclass`` defined in a declared hot-path module
+   must either pass ``slots=True`` or define ``__slots__`` in its body —
+   per-instance ``__dict__`` allocation on these classes is a measurable
+   regression.  Classes listed in ``SLOTS_EXEMPT`` (cold configuration
+   objects living in hot modules) are skipped.
+
+2. **No stream resolution per event.**  ``RandomStreams.stream()`` derives
+   a stream via SHA-256 + dict lookup; components must resolve their
+   streams once at build time and keep the ``random.Random`` handle.  Any
+   ``.stream(...)`` call outside the known build-time methods of the
+   declared modules fails the lint.
+
+Run from the repository root (CI runs it in the lint job)::
+
+    python scripts/check_hot_path.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules whose dataclasses ride the per-transaction hot path.
+SLOTS_MODULES = [
+    "src/repro/ledger/block.py",
+    "src/repro/ledger/rwset.py",
+    "src/repro/ledger/kvstore.py",
+    "src/repro/chaincode/api.py",
+    "src/repro/lifecycle/events.py",
+]
+
+#: Hot-module dataclasses excused from the slots rule (cold configuration or
+#: registry objects that merely live in the same file).
+SLOTS_EXEMPT = {
+    "DatabaseLatencyProfile",  # two module-level singletons, never re-allocated
+}
+
+#: Modules whose per-event methods must not resolve RNG streams.
+STREAM_MODULES = [
+    "src/repro/network",
+    "src/repro/workload",
+    "src/repro/lifecycle",
+    "src/repro/ledger",
+    "src/repro/chaincode",
+    "src/repro/channels",
+]
+
+#: Function/method names allowed to call ``.stream(...)``: build-time paths
+#: that run once per deployment (or per experiment repetition), not per event.
+STREAM_ALLOWED_FUNCTIONS = {
+    "__init__",
+    "__post_init__",
+    "build",
+    "configure",
+    # Per-run setup entrypoints: resolve streams once, before any event fires.
+    "run",
+    "start_clients",
+    "_start_shard_clients",
+    "_run_conservative",
+}
+STREAM_ALLOWED_PREFIXES = ("_build", "_make", "make_")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _has_slots_true(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "slots" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _defines_dunder_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def check_slots(path: Path) -> list[str]:
+    errors = []
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or node.name in SLOTS_EXEMPT:
+            continue
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            continue
+        if _has_slots_true(decorator) or _defines_dunder_slots(node):
+            continue
+        errors.append(
+            f"{path.relative_to(REPO_ROOT)}:{node.lineno}: hot-path dataclass "
+            f"{node.name!r} must pass slots=True (or define __slots__); "
+            "add it to SLOTS_EXEMPT in scripts/check_hot_path.py only for "
+            "cold configuration objects"
+        )
+    return errors
+
+
+class _StreamCallVisitor(ast.NodeVisitor):
+    """Collects ``.stream(...)`` calls with their enclosing function name."""
+
+    def __init__(self) -> None:
+        self.function_stack: list[str] = []
+        self.violations: list[tuple[int, str]] = []
+
+    def _visit_function(self, node) -> None:
+        self.function_stack.append(node.name)
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "stream":
+            function = self.function_stack[-1] if self.function_stack else "<module>"
+            if not (
+                function in STREAM_ALLOWED_FUNCTIONS
+                or function.startswith(STREAM_ALLOWED_PREFIXES)
+            ):
+                self.violations.append((node.lineno, function))
+        self.generic_visit(node)
+
+
+def check_stream_calls(path: Path) -> list[str]:
+    visitor = _StreamCallVisitor()
+    visitor.visit(ast.parse(path.read_text(encoding="utf-8")))
+    return [
+        f"{path.relative_to(REPO_ROOT)}:{lineno}: RandomStreams.stream() called in "
+        f"{function!r} — resolve streams once at build time and keep the handle "
+        "(see 'Hot path' in docs/ARCHITECTURE.md)"
+        for lineno, function in visitor.violations
+    ]
+
+
+def main() -> int:
+    errors: list[str] = []
+    for relative in SLOTS_MODULES:
+        errors.extend(check_slots(REPO_ROOT / relative))
+    for relative in STREAM_MODULES:
+        root = REPO_ROOT / relative
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            errors.extend(check_stream_calls(path))
+    if errors:
+        print("\n".join(errors))
+        print(f"\ncheck_hot_path: {len(errors)} violation(s)")
+        return 1
+    print("check_hot_path: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,14 @@ class ChaincodeStub:
 
     ``store`` is any :class:`~repro.ledger.store.StateStore` view — a concrete
     backend, a peer's shared-base overlay, or FabricSharp's lagged snapshot.
+
+    One stub is constructed per endorsement, and ``get_state``/``put_state``
+    run once per chaincode operation, so the class is slotted and the
+    per-operation bookkeeping (latency charge, read-set append) is inlined
+    with the store's latency profile cached at construction.
     """
+
+    __slots__ = ("store", "rwset", "execution_cost", "db_call_latency", "_pending_writes", "_latency")
 
     def __init__(self, store: StateStore) -> None:
         self.store = store
@@ -32,11 +39,13 @@ class ChaincodeStub:
         self.execution_cost = 0.0
         self.db_call_latency: Dict[str, float] = {}
         self._pending_writes: Dict[str, KeyWrite] = {}
+        self._latency = store.latency
 
     # ----------------------------------------------------------------- helpers
     def _charge(self, operation: str, cost: float) -> None:
         self.execution_cost += cost
-        self.db_call_latency[operation] = self.db_call_latency.get(operation, 0.0) + cost
+        latency = self.db_call_latency
+        latency[operation] = latency.get(operation, 0.0) + cost
 
     # ------------------------------------------------------------------- reads
     def get_state(self, key: str) -> Optional[Any]:
@@ -46,11 +55,16 @@ class ChaincodeStub:
         the read set with the version observed at endorsement time (``None``
         for missing keys), which is what MVCC validation later checks.
         """
-        self._charge("GetState", self.store.latency.get_state)
+        cost = self._latency.get_state
+        self.execution_cost += cost
+        latency = self.db_call_latency
+        latency["GetState"] = latency.get("GetState", 0.0) + cost
         entry = self.store.get(key)
-        version = entry.version if entry is not None else None
-        self.rwset.reads.append(KeyRead(key=key, version=version))
-        return entry.value if entry is not None else None
+        if entry is None:
+            self.rwset.reads.append(KeyRead(key, None))
+            return None
+        self.rwset.reads.append(KeyRead(key, entry.version))
+        return entry.value
 
     def get_state_by_range(self, start_key: str, end_key: str) -> List[Tuple[str, Any]]:
         """Range read over ``[start_key, end_key)`` with phantom detection.
@@ -60,7 +74,7 @@ class ChaincodeStub:
         transaction with a phantom read conflict (paper Section 3.2.3).
         """
         results = self.store.range(start_key, end_key)
-        self._charge("GetRange", self.store.latency.range_cost(len(results)))
+        self._charge("GetRange", self._latency.range_cost(len(results)))
         reads = [KeyRead(key=key, version=entry.version) for key, entry in results]
         self.rwset.range_reads.append(
             RangeRead(
@@ -85,7 +99,7 @@ class ChaincodeStub:
                 "GetQueryResult (rich queries) requires CouchDB as the state database"
             )
         results = self.store.rich_query(selector)
-        self._charge("GetQueryResult", self.store.latency.rich_query_cost(len(results)))
+        self._charge("GetQueryResult", self._latency.rich_query_cost(len(results)))
         reads = [KeyRead(key=key, version=entry.version) for key, entry in results]
         self.rwset.range_reads.append(
             RangeRead(
@@ -101,15 +115,16 @@ class ChaincodeStub:
     # ------------------------------------------------------------------ writes
     def put_state(self, key: str, value: Any) -> None:
         """Buffer a write; it is applied only if the transaction commits."""
-        self._charge("PutState", self.store.latency.put_state)
-        write = KeyWrite(key=key, value=value, is_delete=False)
-        self._record_write(write)
+        cost = self._latency.put_state
+        self.execution_cost += cost
+        latency = self.db_call_latency
+        latency["PutState"] = latency.get("PutState", 0.0) + cost
+        self._record_write(KeyWrite(key, value, False))
 
     def del_state(self, key: str) -> None:
         """Buffer a deletion; it is applied only if the transaction commits."""
-        self._charge("DeleteState", self.store.latency.delete_state)
-        write = KeyWrite(key=key, value=None, is_delete=True)
-        self._record_write(write)
+        self._charge("DeleteState", self._latency.delete_state)
+        self._record_write(KeyWrite(key, None, True))
 
     def _record_write(self, write: KeyWrite) -> None:
         # Fabric keeps one write per key in the write set (the last one wins).

@@ -82,18 +82,28 @@ class Chaincode:
         return self._read_only[function]
 
     # --------------------------------------------------------------- execution
-    def invoke(self, stub: ChaincodeStub, function: str, args: Tuple[Any, ...]) -> ChaincodeResponse:
-        """Execute ``function(*args)`` against ``stub`` and return its response."""
-        if function not in self._functions:
+    def execute(self, stub: ChaincodeStub, function: str, args: Tuple[Any, ...]) -> Any:
+        """Execute ``function(*args)`` against ``stub`` and return its payload.
+
+        The lean path behind :meth:`invoke`: endorsing peers call this
+        directly because they only need the stub's side effects (read/write
+        set, execution cost) and would discard a response wrapper.
+        """
+        method = self._functions.get(function)
+        if method is None:
             raise UnknownFunctionError(self.name, function)
         try:
-            payload = self._functions[function](stub, *args)
+            return method(stub, *args)
         except ChaincodeError:
             raise
         except Exception as exc:  # pragma: no cover - defensive
             raise ChaincodeError(
                 f"chaincode {self.name!r} function {function!r} raised {exc!r}"
             ) from exc
+
+    def invoke(self, stub: ChaincodeStub, function: str, args: Tuple[Any, ...]) -> ChaincodeResponse:
+        """Execute ``function(*args)`` against ``stub`` and return its response."""
+        payload = self.execute(stub, function, args)
         return ChaincodeResponse(
             function=function, payload=payload, read_only=self.is_read_only(function)
         )

@@ -146,6 +146,30 @@ class ShardedKeyDistribution:
                 return index
         return self.base.sample(rng, population)
 
+    def sample_batch(self, rng: random.Random, population: int, count: int) -> List[int]:
+        """Batched fast path: byte-identical to ``count`` ``sample`` calls.
+
+        Rejection sampling draws a data-dependent number of base samples per
+        accepted index, so the batch hoists the lookups and replays the exact
+        per-call loop — the accepted indexes and the underlying RNG state
+        match the per-call path bit for bit.
+        """
+        base_sample = self.base.sample
+        channel_of_index = self.topology.channel_of_index
+        channel = self.channel
+        max_tries = self.max_tries
+        results: List[int] = []
+        append = results.append
+        for _ in range(count):
+            for _ in range(max_tries):
+                index = base_sample(rng, population)
+                if channel_of_index(index, population) == channel:
+                    append(index)
+                    break
+            else:
+                append(base_sample(rng, population))
+        return results
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedKeyDistribution(channel={self.channel}, "

@@ -15,7 +15,6 @@ from __future__ import annotations
 from repro.fabric.variant import FabricVariantBehavior, register_variant
 from repro.ledger.block import Block, ValidationCode
 from repro.network.config import NetworkConfig
-from repro.network.endorsement import vscc_validation_cost
 
 
 class Streamchain(FabricVariantBehavior):
@@ -41,11 +40,16 @@ class Streamchain(FabricVariantBehavior):
         timing = config.timing
         database = config.database_profile
         storage_factor = timing.ramdisk_factor if config.use_ram_disk else 1.0
+        subpolicy_count = self._subpolicy_count
+        if subpolicy_count is None:
+            subpolicy_count = self.policy.subpolicy_count()
+        vscc_subpolicy_cost = timing.vscc_per_subpolicy * subpolicy_count
         total = 0.0
         for tx in block.transactions:
             total += timing.stream_validation_per_tx
-            signature_count = max(1, len(tx.endorsements))
-            total += vscc_validation_cost(self.policy, signature_count, timing)
+            total += (
+                timing.vscc_per_signature * max(1, tx.endorsement_count) + vscc_subpolicy_cost
+            )
             if tx.rwset is None:
                 continue
             total += database.mvcc_check_per_key * len(tx.rwset.reads) * storage_factor

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Type
 from repro.errors import ConfigurationError
 from repro.ledger.block import Block, Transaction, ValidationCode
 from repro.network.config import NetworkConfig
-from repro.network.endorsement import PolicyNode, build_policy, vscc_validation_cost
+from repro.network.endorsement import PolicyNode, build_policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.orderer import OrderingService
@@ -36,6 +36,9 @@ class FabricVariantBehavior:
 
     def __init__(self) -> None:
         self._policy: Optional[PolicyNode] = None
+        #: Cached ``policy.subpolicy_count()`` (static per policy tree); the
+        #: VSCC cost model reads it once per transaction.
+        self._subpolicy_count: Optional[int] = None
 
     # ----------------------------------------------------------- configuration
     def configure(self, config: NetworkConfig) -> NetworkConfig:
@@ -46,6 +49,7 @@ class FabricVariantBehavior:
         cutting parameters (Streamchain forces a block size of one).
         """
         self._policy = build_policy(config.endorsement_policy, config.orgs)
+        self._subpolicy_count = self._policy.subpolicy_count()
         return config
 
     @property
@@ -96,20 +100,32 @@ class FabricVariantBehavior:
         """
         timing = config.timing
         database = config.database_profile
+        subpolicy_count = self._subpolicy_count
+        if subpolicy_count is None:
+            subpolicy_count = self.policy.subpolicy_count()
+        # Inlined vscc_validation_cost with the (static) sub-policy term
+        # precomputed; the per-transaction arithmetic is unchanged.
+        vscc_per_signature = timing.vscc_per_signature
+        vscc_subpolicy_cost = timing.vscc_per_subpolicy * subpolicy_count
+        mvcc_check_per_key = database.mvcc_check_per_key
+        commit_per_write = database.commit_per_write
+        range_cost = database.range_cost
+        aborted = ValidationCode.ABORTED_BY_REORDERING
+        valid = ValidationCode.VALID
         total = timing.validation_per_block + database.commit_per_block
         for tx in block.transactions:
-            if tx.validation_code is ValidationCode.ABORTED_BY_REORDERING:
+            if tx.validation_code is aborted:
                 continue
-            signature_count = max(1, len(tx.endorsements))
-            total += vscc_validation_cost(self.policy, signature_count, timing)
-            if tx.rwset is None:
+            total += vscc_per_signature * max(1, tx.endorsement_count) + vscc_subpolicy_cost
+            rwset = tx.rwset
+            if rwset is None:
                 continue
-            total += database.mvcc_check_per_key * len(tx.rwset.reads)
-            for range_read in tx.rwset.range_reads:
+            total += mvcc_check_per_key * len(rwset.reads)
+            for range_read in rwset.range_reads:
                 if range_read.phantom_detection:
-                    total += database.range_cost(len(range_read.reads))
-            if tx.validation_code is ValidationCode.VALID:
-                total += database.commit_per_write * len(tx.rwset.writes)
+                    total += range_cost(len(range_read.reads))
+            if tx.validation_code is valid:
+                total += commit_per_write * len(rwset.writes)
         return total
 
     # -------------------------------------------------------------- reporting

@@ -68,7 +68,7 @@ class BlockCutReason(enum.Enum):
     FLUSH = "flush"
 
 
-@dataclass
+@dataclass(slots=True)
 class EndorsementResponse:
     """One endorsing peer's response: its signature metadata and read/write set."""
 
@@ -85,7 +85,7 @@ _tx_counter = itertools.count()
 
 def next_transaction_id(prefix: str = "tx") -> str:
     """Monotonically increasing transaction identifier (unique within a run)."""
-    return f"{prefix}-{next(_tx_counter):08d}"
+    return "%s-%08d" % (prefix, next(_tx_counter))
 
 
 class TransactionIdAllocator:
@@ -102,15 +102,18 @@ class TransactionIdAllocator:
     bit-identical to the shared-clock run.
     """
 
-    __slots__ = ("prefix", "_counter")
+    __slots__ = ("prefix", "_counter", "_format")
 
     def __init__(self, prefix: str = "tx") -> None:
         self.prefix = prefix
         self._counter = itertools.count()
+        # Precomputed printf template: one C-level format call per id instead
+        # of f-string assembly (ids are minted once per transaction).
+        self._format = (prefix + "-%08d").__mod__
 
     def __call__(self) -> str:
         """The next identifier of this sequence."""
-        return f"{self.prefix}-{next(self._counter):08d}"
+        return self._format(next(self._counter))
 
 
 def reset_transaction_ids() -> None:
@@ -125,55 +128,156 @@ def reset_transaction_ids() -> None:
     _tx_counter = itertools.count()
 
 
-@dataclass
 class Transaction:
-    """A client transaction and everything recorded about it along the pipeline."""
+    """A client transaction and everything recorded about it along the pipeline.
 
-    tx_id: str
-    client_name: str
-    chaincode_name: str
-    function: str
-    args: Tuple[Any, ...] = ()
-    read_only: bool = False
-    #: Channel the transaction was submitted on (``None`` outside multi-channel
-    #: runs) and, for cross-channel transactions, the second channel involved
-    #: in the two-phase prepare/commit.
-    channel: Optional[int] = None
-    partner_channel: Optional[int] = None
-    #: Resubmission lineage: ``attempt`` counts how many times the same logical
-    #: request was already submitted (0 = first submission) and
-    #: ``origin_tx_id`` names the first attempt's transaction id (``None`` for
-    #: first attempts).  Set by the client retry subsystem
-    #: (:mod:`repro.lifecycle.retry`).
-    attempt: int = 0
-    origin_tx_id: Optional[str] = None
+    Deliberately a hand-rolled ``__slots__`` class rather than a dataclass:
+    transactions are the single most-allocated pipeline object, and the slots
+    layout plus the *lazy* ``endorsements``/``db_call_latency`` containers
+    (materialized on first access instead of one fresh list + dict per
+    construction) keep per-transaction allocation to the instance itself.
+    The constructor keyword surface is unchanged from the former dataclass.
+    """
 
-    # Execution phase -----------------------------------------------------
-    submitted_at: float = 0.0
-    endorsements: List[EndorsementResponse] = field(default_factory=list)
-    rwset: Optional[ReadWriteSet] = None
-    endorsement_mismatch: bool = False
-    endorsement_completed_at: Optional[float] = None
+    __slots__ = (
+        "tx_id",
+        "client_name",
+        "chaincode_name",
+        "function",
+        "args",
+        "read_only",
+        "channel",
+        "partner_channel",
+        "attempt",
+        "origin_tx_id",
+        "submitted_at",
+        "_endorsements",
+        "rwset",
+        "endorsement_mismatch",
+        "endorsement_completed_at",
+        "prepare_started_at",
+        "prepare_completed_at",
+        "arrived_at_orderer_at",
+        "ordered_at",
+        "block_number",
+        "tx_index",
+        "validation_code",
+        "committed_at",
+        "conflicting_key",
+        "conflicting_block",
+        "abort_reason",
+        "_db_call_latency",
+    )
 
-    # Ordering phase -------------------------------------------------------
-    #: Two-phase prepare window at the cross-channel coordinator (both
-    #: ``None`` for ordinary single-channel transactions).
-    prepare_started_at: Optional[float] = None
-    prepare_completed_at: Optional[float] = None
-    arrived_at_orderer_at: Optional[float] = None
-    ordered_at: Optional[float] = None
-    block_number: Optional[int] = None
-    tx_index: Optional[int] = None
+    def __init__(
+        self,
+        tx_id: str,
+        client_name: str,
+        chaincode_name: str,
+        function: str,
+        args: Tuple[Any, ...] = (),
+        read_only: bool = False,
+        channel: Optional[int] = None,
+        partner_channel: Optional[int] = None,
+        attempt: int = 0,
+        origin_tx_id: Optional[str] = None,
+        submitted_at: float = 0.0,
+        endorsements: Optional[List[EndorsementResponse]] = None,
+        rwset: Optional[ReadWriteSet] = None,
+        endorsement_mismatch: bool = False,
+        endorsement_completed_at: Optional[float] = None,
+        prepare_started_at: Optional[float] = None,
+        prepare_completed_at: Optional[float] = None,
+        arrived_at_orderer_at: Optional[float] = None,
+        ordered_at: Optional[float] = None,
+        block_number: Optional[int] = None,
+        tx_index: Optional[int] = None,
+        validation_code: Optional[ValidationCode] = None,
+        committed_at: Optional[float] = None,
+        conflicting_key: Optional[str] = None,
+        conflicting_block: Optional[int] = None,
+        abort_reason: Optional[str] = None,
+        db_call_latency: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.tx_id = tx_id
+        self.client_name = client_name
+        self.chaincode_name = chaincode_name
+        self.function = function
+        self.args = args
+        self.read_only = read_only
+        #: Channel the transaction was submitted on (``None`` outside
+        #: multi-channel runs); ``partner_channel`` is the second channel of a
+        #: cross-channel two-phase prepare/commit.
+        self.channel = channel
+        self.partner_channel = partner_channel
+        #: Resubmission lineage: ``attempt`` counts how many times the same
+        #: logical request was already submitted (0 = first submission) and
+        #: ``origin_tx_id`` names the first attempt's transaction id (``None``
+        #: for first attempts).  Set by :mod:`repro.lifecycle.retry`.
+        self.attempt = attempt
+        self.origin_tx_id = origin_tx_id
 
-    # Validation phase -----------------------------------------------------
-    validation_code: Optional[ValidationCode] = None
-    committed_at: Optional[float] = None
-    conflicting_key: Optional[str] = None
-    conflicting_block: Optional[int] = None
-    abort_reason: Optional[str] = None
+        # Execution phase -------------------------------------------------
+        self.submitted_at = submitted_at
+        self._endorsements = endorsements
+        self.rwset = rwset
+        self.endorsement_mismatch = endorsement_mismatch
+        self.endorsement_completed_at = endorsement_completed_at
 
-    # Bookkeeping for per-function latency reporting (Table 4)
-    db_call_latency: Dict[str, float] = field(default_factory=dict)
+        # Ordering phase ---------------------------------------------------
+        self.prepare_started_at = prepare_started_at
+        self.prepare_completed_at = prepare_completed_at
+        self.arrived_at_orderer_at = arrived_at_orderer_at
+        self.ordered_at = ordered_at
+        self.block_number = block_number
+        self.tx_index = tx_index
+
+        # Validation phase -------------------------------------------------
+        self.validation_code = validation_code
+        self.committed_at = committed_at
+        self.conflicting_key = conflicting_key
+        self.conflicting_block = conflicting_block
+        self.abort_reason = abort_reason
+
+        # Bookkeeping for per-function latency reporting (Table 4)
+        self._db_call_latency = db_call_latency
+
+    # Lazy containers -----------------------------------------------------
+    @property
+    def endorsements(self) -> List[EndorsementResponse]:
+        """Endorsement responses collected so far (materialized on access)."""
+        endorsements = self._endorsements
+        if endorsements is None:
+            endorsements = self._endorsements = []
+        return endorsements
+
+    @endorsements.setter
+    def endorsements(self, value: List[EndorsementResponse]) -> None:
+        self._endorsements = value
+
+    @property
+    def endorsement_count(self) -> int:
+        """Number of collected endorsements, without materializing the list."""
+        endorsements = self._endorsements
+        return 0 if endorsements is None else len(endorsements)
+
+    @property
+    def db_call_latency(self) -> Dict[str, float]:
+        """Per-operation DB latency charged at endorsement (lazy dict)."""
+        latency = self._db_call_latency
+        if latency is None:
+            latency = self._db_call_latency = {}
+        return latency
+
+    @db_call_latency.setter
+    def db_call_latency(self, value: Dict[str, float]) -> None:
+        self._db_call_latency = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction(tx_id={self.tx_id!r}, function={self.function!r}, "
+            f"validation_code={self.validation_code})"
+        )
 
     @property
     def origin_id(self) -> str:
@@ -208,16 +312,19 @@ class Transaction:
     def estimated_size_bytes(self) -> int:
         """Rough wire size of the transaction, used for the max-bytes block cut."""
         base = 512  # headers, signatures, certificates
-        if self.rwset is None:
+        rwset = self.rwset
+        if rwset is None:
             return base
         per_read = 48
         per_write = 96
-        reads = len(self.rwset.all_reads())
-        writes = len(self.rwset.writes)
+        reads = len(rwset.reads)
+        for range_read in rwset.range_reads:
+            reads += len(range_read.reads)
+        writes = len(rwset.writes)
         return base + per_read * reads + per_write * writes
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """An ordered batch of transactions delivered to every peer."""
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import LedgerError, UnsupportedFeatureError
 
@@ -27,9 +27,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ledger.store import EpochSnapshot, OverlayStateStore, WriteBatch
 
 
-@dataclass(frozen=True, order=True)
-class Version:
-    """A key version: the block number and intra-block index of the last write."""
+class Version(NamedTuple):
+    """A key version: the block number and intra-block index of the last write.
+
+    A named tuple (cheap construction, tuple ordering identical to the former
+    ``order=True`` frozen dataclass): one is minted per staged write during
+    validation, which puts construction on the per-block hot path.
+    """
 
     block_number: int
     tx_number: int
@@ -64,9 +68,9 @@ def reconcile_sorted_keys(
     return list(heapq.merge(kept, new_keys))
 
 
-@dataclass
+@dataclass(slots=True)
 class StateEntry:
-    """Value and version currently stored for one key."""
+    """Value and version currently stored for one key (allocated per write)."""
 
     value: Any
     version: Version

@@ -9,25 +9,28 @@ the validator can re-execute the range and detect phantom reads (Equation 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Set
+from typing import Any, Iterable, List, NamedTuple, Optional, Set
 
 from repro.ledger.kvstore import Version
 
 
-@dataclass(frozen=True)
-class KeyRead:
+class KeyRead(NamedTuple):
     """One entry of a read set: a key and the version observed at endorsement.
 
     ``version is None`` means the key did not exist in the world state when the
     transaction was endorsed (Fabric records such reads with a nil version).
+
+    A named tuple rather than a dataclass: read-set entries are minted on
+    every ``GetState`` of every endorsement, and tuple construction skips the
+    per-field ``__init__`` work entirely.  Value equality and hashing match
+    the former frozen dataclass.
     """
 
     key: str
     version: Optional[Version]
 
 
-@dataclass(frozen=True)
-class KeyWrite:
+class KeyWrite(NamedTuple):
     """One entry of a write set: a key and the value to write (or a deletion)."""
 
     key: str
@@ -35,7 +38,7 @@ class KeyWrite:
     is_delete: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class RangeRead:
     """A range query executed at endorsement time.
 
@@ -58,7 +61,7 @@ class RangeRead:
         return [read.key for read in self.reads]
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadWriteSet:
     """The complete read/write set of one endorsement of one transaction."""
 
@@ -117,11 +120,25 @@ def read_sets_consistent(read_sets: Iterable[ReadWriteSet]) -> bool:
     failure caused by transient world-state inconsistency.
     """
     observed: dict[str, Optional[Version]] = {}
+    sentinel = object()
+    get = observed.get
     for read_set in read_sets:
-        for read in read_set.all_reads():
-            if read.key in observed:
-                if observed[read.key] != read.version:
+        # Point reads followed by range-read observations, without building
+        # the intermediate ``all_reads()`` list per read set (this check runs
+        # once per transaction on the endorsement-collection hot path).
+        for read in read_set.reads:
+            key, version = read
+            seen = get(key, sentinel)
+            if seen is sentinel:
+                observed[key] = version
+            elif seen != version:
+                return False
+        for range_read in read_set.range_reads:
+            for read in range_read.reads:
+                key, version = read
+                seen = get(key, sentinel)
+                if seen is sentinel:
+                    observed[key] = version
+                elif seen != version:
                     return False
-            else:
-                observed[read.key] = read.version
     return True

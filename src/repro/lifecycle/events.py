@@ -13,13 +13,21 @@ transactions by listening for :attr:`LifecycleEventType.ABORTED`.
 Emission is synchronous and never touches the simulator or any RNG stream, so
 an idle bus (no subscribers) leaves a run bit-identical to one without the bus
 — the invariant behind the golden-record determinism tests.
+
+The bus is on the per-transaction hot path (five to six emissions per
+transaction), so dispatch is table-driven: subscription maintains one
+pre-merged listener tuple per event type, and the fast-path emitters
+(:meth:`LifecycleBus.emit_tx` / :meth:`LifecycleBus.emit_failure`) bump the
+event counter and return without constructing a :class:`LifecycleEvent` at
+all when an event type has no listeners — the common case in benchmark and
+headless runs.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.ledger.block import Transaction, ValidationCode
 
@@ -47,6 +55,17 @@ class LifecycleEventType(enum.Enum):
     #: The transaction terminally failed — any failure validation code at the
     #: reference peer, or any early-abort path that never reaches a block.
     ABORTED = "aborted"
+
+
+#: Declaration-order tuple of the event types; the bus stores its dispatch
+#: table and counters in flat lists indexed by each member's ``_bus_index``
+#: (assigned below).  ``Enum.__hash__`` is a Python-level call, so indexing a
+#: list by a cached int is measurably cheaper than a dict lookup on the
+#: five-to-six-emissions-per-transaction hot path.
+_EVENT_TYPES: Tuple["LifecycleEventType", ...] = tuple(LifecycleEventType)
+for _index, _event_type in enumerate(_EVENT_TYPES):
+    _event_type._bus_index = _index
+del _index, _event_type
 
 
 #: Validation codes mapped to the failure class an ABORTED event reports.
@@ -81,19 +100,19 @@ def failure_type_of(tx: Transaction) -> Optional["FailureType"]:
     block recorded by the validator, mirroring the post-hoc classifier's
     Equations 3 and 4.
     """
-    from repro.core.failures import FailureType
-
     code = tx.validation_code
     if code is None or code is ValidationCode.VALID:
         return None
     if code is ValidationCode.MVCC_READ_CONFLICT:
+        from repro.core.failures import FailureType
+
         if tx.conflicting_block is not None and tx.conflicting_block == tx.block_number:
             return FailureType.MVCC_INTRA_BLOCK
         return FailureType.MVCC_INTER_BLOCK
     return _code_to_failure()[code]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LifecycleEvent:
     """One stage transition of one transaction."""
 
@@ -126,19 +145,11 @@ def emit_event(
 
     The single emission helper behind every component: it stamps the
     transaction's channel so emitters never have to, and keeps the event
-    shape in one place.
+    shape in one place.  Delegates to the bus's :meth:`LifecycleBus.emit_tx`
+    fast path, so no event object is built when nobody listens.
     """
-    if bus is None:
-        return
-    bus.emit(
-        LifecycleEvent(
-            type=event_type,
-            time=time,
-            transaction=tx,
-            failure_type=failure_type,
-            channel=tx.channel,
-        )
-    )
+    if bus is not None:
+        bus.emit_tx(event_type, time, tx, failure_type)
 
 
 class LifecycleBus:
@@ -148,12 +159,31 @@ class LifecycleBus:
     invokes them inline, in subscription order, on the emitter's stack.  The
     bus also counts events per type, which :class:`~repro.network.network.RunRecord`
     snapshots for observability and tests.
+
+    Dispatch is pre-resolved: every (un)subscription rebuilds one immutable
+    listener tuple per event type (type-specific listeners first, then the
+    all-event listeners, each group in subscription order).  Emission indexes
+    that table and iterates the tuple directly — the tuple doubles as the
+    iteration snapshot, so listeners may unsubscribe mid-delivery without
+    disturbing the in-flight emission.
     """
+
+    __slots__ = ("_listeners", "_all_listeners", "_dispatch", "_counts")
 
     def __init__(self) -> None:
         self._listeners: Dict[LifecycleEventType, List[LifecycleListener]] = {}
         self._all_listeners: List[LifecycleListener] = []
-        self.counts: Dict[LifecycleEventType, int] = {}
+        self._dispatch: List[Tuple[LifecycleListener, ...]] = [()] * len(_EVENT_TYPES)
+        self._counts: List[int] = [0] * len(_EVENT_TYPES)
+
+    @property
+    def counts(self) -> Dict[LifecycleEventType, int]:
+        """Per-type emission counts (types emitted at least once only)."""
+        return {
+            event_type: count
+            for event_type, count in zip(_EVENT_TYPES, self._counts)
+            if count
+        }
 
     # ---------------------------------------------------------- subscription
     def subscribe(
@@ -164,6 +194,7 @@ class LifecycleBus:
             self._all_listeners.append(listener)
         else:
             self._listeners.setdefault(event_type, []).append(listener)
+        self._rebuild_dispatch()
 
     def unsubscribe(
         self, event_type: Optional[LifecycleEventType], listener: LifecycleListener
@@ -172,14 +203,73 @@ class LifecycleBus:
         listeners = self._all_listeners if event_type is None else self._listeners.get(event_type, [])
         if listener in listeners:
             listeners.remove(listener)
+        self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        all_listeners = tuple(self._all_listeners)
+        listeners = self._listeners
+        self._dispatch = [
+            tuple(listeners.get(event_type, ())) + all_listeners
+            for event_type in _EVENT_TYPES
+        ]
 
     # -------------------------------------------------------------- emission
     def emit(self, event: LifecycleEvent) -> None:
         """Deliver ``event`` to every matching subscriber, synchronously."""
-        self.counts[event.type] = self.counts.get(event.type, 0) + 1
-        for listener in tuple(self._listeners.get(event.type, ())):
+        index = event.type._bus_index
+        self._counts[index] += 1
+        for listener in self._dispatch[index]:
             listener(event)
-        for listener in tuple(self._all_listeners):
+
+    def emit_tx(
+        self,
+        event_type: LifecycleEventType,
+        time: float,
+        tx: Transaction,
+        failure_type: Optional["FailureType"] = None,
+    ) -> None:
+        """Count and deliver one stage transition of ``tx``.
+
+        The hot-path emitter: when ``event_type`` has no listeners only the
+        counter is bumped and no :class:`LifecycleEvent` is allocated.
+        """
+        index = event_type._bus_index
+        self._counts[index] += 1
+        listeners = self._dispatch[index]
+        if not listeners:
+            return
+        event = LifecycleEvent(
+            type=event_type,
+            time=time,
+            transaction=tx,
+            failure_type=failure_type,
+            channel=tx.channel,
+        )
+        for listener in listeners:
+            listener(event)
+
+    def emit_failure(
+        self, event_type: LifecycleEventType, time: float, tx: Transaction
+    ) -> None:
+        """Like :meth:`emit_tx`, deriving the failure class from ``tx``.
+
+        :func:`failure_type_of` is only evaluated when a listener will
+        actually see the event, which keeps the abort and validation paths
+        free of per-transaction classification work on an idle bus.
+        """
+        index = event_type._bus_index
+        self._counts[index] += 1
+        listeners = self._dispatch[index]
+        if not listeners:
+            return
+        event = LifecycleEvent(
+            type=event_type,
+            time=time,
+            transaction=tx,
+            failure_type=failure_type_of(tx),
+            channel=tx.channel,
+        )
+        for listener in listeners:
             listener(event)
 
     def pipe_to(self, parent: "LifecycleBus") -> None:
@@ -194,7 +284,7 @@ class LifecycleBus:
     # ------------------------------------------------------------ inspection
     def count(self, event_type: LifecycleEventType) -> int:
         """Number of events of ``event_type`` emitted so far."""
-        return self.counts.get(event_type, 0)
+        return self._counts[event_type._bus_index]
 
     def counts_by_name(self) -> Dict[str, int]:
         """Event counts keyed by the event-type value (JSON-friendly)."""

@@ -27,7 +27,7 @@ from repro.chaincode.base import Chaincode
 from repro.faults.controller import FaultController
 from repro.ledger.block import EndorsementResponse, Transaction, ValidationCode, next_transaction_id
 from repro.ledger.rwset import read_sets_consistent
-from repro.lifecycle.events import LifecycleBus, LifecycleEventType, emit_event
+from repro.lifecycle.events import LifecycleBus, LifecycleEventType
 from repro.lifecycle.stages import OrderingStage
 from repro.network.config import NetworkConfig
 from repro.network.endorsement import PolicyNode
@@ -83,7 +83,9 @@ class ClientNode:
 
     # ---------------------------------------------------------------- events
     def _emit(self, event_type: LifecycleEventType, tx: Transaction) -> None:
-        emit_event(self.bus, event_type, self.sim.now, tx)
+        bus = self.bus
+        if bus is not None:
+            bus.emit_tx(event_type, self.sim.now, tx)
 
     # ---------------------------------------------------------------- driving
     def start(self, duration: float) -> int:
@@ -147,21 +149,27 @@ class ClientNode:
         """
         self.submitted.append(tx)
         self._emit(LifecycleEventType.SUBMITTED, tx)
-        endorsing_orgs = sorted(self.policy.select_orgs(self.rng))
+        rng = self.rng
+        endorsing_orgs = sorted(self.policy.select_orgs(rng))
         self._expected_responses[tx.tx_id] = len(endorsing_orgs)
         on_response = functools.partial(self._on_endorsement, tx)
+        organizations = self.organizations
+        one_way = self.latency.one_way
+        post = self.sim.post
+        faults = self.faults
+        chaincode = self.chaincode
         for org_index in endorsing_orgs:
-            peer = self.organizations[org_index].pick_endorser(self.rng)
-            delay = self.latency.one_way(None, peer.org_index)
-            if self.faults is not None:
-                if not self.faults.peer_available(peer.name):
+            peer = organizations[org_index].pick_endorser(rng)
+            delay = one_way(None, peer.org_index)
+            if faults is not None:
+                if not faults.peer_available(peer.name):
                     # Connection refused: the client learns one network hop
                     # later and gives the transaction up immediately.
-                    self.sim.post(delay, self._on_peer_unreachable, tx)
+                    post(delay, self._on_peer_unreachable, tx)
                     continue
-                if self.faults.endorsement_lost():
+                if faults.endorsement_lost():
                     continue  # vanishes in transit; the watchdog will fire
-            self.sim.post(delay, peer.receive_proposal, tx, self.chaincode, on_response)
+            post(delay, peer.receive_proposal, tx, chaincode, on_response)
         if self.faults is not None and self.faults.arms_endorsement_watchdog:
             # Armed only for faults that can lose or stall an endorsement;
             # an outage- or crash-only profile must never reclassify a merely
@@ -190,15 +198,16 @@ class ClientNode:
             # The transaction was already resolved — a fault path (timeout or
             # unreachable peer) aborted it while this response was in flight.
             return
-        tx.endorsements.append(response)
+        endorsements = tx.endorsements
+        endorsements.append(response)
         expected = self._expected_responses.get(tx.tx_id, 0)
-        if len(tx.endorsements) < expected:
+        if len(endorsements) < expected:
             return
         self._expected_responses.pop(tx.tx_id, None)
         tx.endorsement_completed_at = self.sim.now
-        tx.rwset = tx.endorsements[0].rwset
+        tx.rwset = endorsements[0].rwset
         tx.endorsement_mismatch = not read_sets_consistent(
-            endorsement.rwset for endorsement in tx.endorsements
+            endorsement.rwset for endorsement in endorsements
         )
         self._emit(
             LifecycleEventType.ENDORSEMENT_FAILED

@@ -115,7 +115,10 @@ class NOutOf(PolicyNode):
         return nested + sum(child.subpolicy_count() for child in self.children)
 
     def select_orgs(self, rng: random.Random) -> Set[int]:
-        chosen_children = rng.sample(list(self.children), self.n)
+        # ``sample`` accepts any sequence and its draws depend only on the
+        # population length, so sampling the children tuple directly is
+        # draw-identical to the former ``list(self.children)`` copy.
+        chosen_children = rng.sample(self.children, self.n)
         orgs: Set[int] = set()
         for child in chosen_children:
             orgs |= child.select_orgs(rng)

@@ -28,14 +28,24 @@ class LatencyModel:
         self.timing = config.timing
         self.rng = rng
         self._delayed = set(config.delayed_orgs)
+        # Precomputed ``uniform(-jitter, jitter)`` operands (CPython's
+        # ``uniform(a, b)`` is ``a + (b - a) * random()``); the timing profile
+        # and the induced-delay settings are fixed for the model's lifetime.
+        timing = config.timing
+        self._net_low = -timing.net_jitter
+        self._net_span = timing.net_jitter - self._net_low
+        self._induced_low = -config.induced_delay_jitter
+        self._induced_span = config.induced_delay_jitter - self._induced_low
 
     def one_way(self, src_org: Optional[int] = None, dst_org: Optional[int] = None) -> float:
         """One-way latency of a message from ``src_org`` to ``dst_org``."""
-        timing = self.timing
-        latency = timing.net_one_way + self.rng.uniform(-timing.net_jitter, timing.net_jitter)
-        if self._touches_delayed_org(src_org, dst_org):
-            jitter = self.config.induced_delay_jitter
-            latency += self.config.induced_delay + self.rng.uniform(-jitter, jitter)
+        random_ = self.rng.random
+        latency = self.timing.net_one_way + (self._net_low + self._net_span * random_())
+        delayed = self._delayed
+        if delayed and (src_org in delayed or dst_org in delayed):
+            latency += self.config.induced_delay + (
+                self._induced_low + self._induced_span * random_()
+            )
         return max(0.0, latency)
 
     def round_trip(self, src_org: Optional[int] = None, dst_org: Optional[int] = None) -> float:

@@ -28,7 +28,6 @@ from repro.lifecycle.events import (
     LifecycleBus,
     LifecycleEventType,
     emit_event,
-    failure_type_of,
 )
 from repro.network.config import NetworkConfig
 from repro.network.latency import LatencyModel
@@ -111,7 +110,9 @@ class OrderingService:
             tx.abort_reason = reason
         tx.committed_at = self.sim.now
         self.early_aborted.append(tx)
-        self.emit(LifecycleEventType.ABORTED, tx, failure_type=failure_type_of(tx))
+        bus = self.bus
+        if bus is not None:
+            bus.emit_failure(LifecycleEventType.ABORTED, self.sim.now, tx)
 
     # ------------------------------------------------------------- submission
     def submit(self, tx: Transaction) -> None:
@@ -179,29 +180,46 @@ class OrderingService:
 
     # -------------------------------------------------------------- consensus
     def _consensus_done(self, block: Block) -> None:
-        block.consensus_completed_at = self.sim.now
-        for tx in block.transactions:
-            tx.ordered_at = self.sim.now
-            self.emit(LifecycleEventType.ORDERED, tx)
-        self.validator.validate_block(block)
+        now = self.sim.now
+        block.consensus_completed_at = now
+        bus = self.bus
+        if bus is None:
+            for tx in block.transactions:
+                tx.ordered_at = now
+        else:
+            ordered = LifecycleEventType.ORDERED
+            emit_tx = bus.emit_tx
+            for tx in block.transactions:
+                tx.ordered_at = now
+                emit_tx(ordered, now, tx)
+        batch = self.validator.validate_block(block)
         self.ledger.append(block)
         self.variant.after_block_validated(block, self)
+        # Per-block values every peer needs: computed once here instead of
+        # once per peer (the validation codes feeding the cost are final
+        # after after_block_validated).
+        base_time = self.variant.validation_service_time(block, self.config)
+        block_delivery = self.latency.block_delivery
+        uniform = self.rng.uniform
+        delivery_jitter = self.timing.delivery_jitter
+        post = self.sim.post
+        on_peer_commit = self._on_peer_commit
         for peer in self.peers:
-            delay = self.latency.block_delivery(peer.org_index) + self.rng.uniform(
-                0.0, self.timing.delivery_jitter
-            )
-            self.sim.post(delay, peer.deliver_block, block, self._on_peer_commit)
+            delay = block_delivery(peer.org_index) + uniform(0.0, delivery_jitter)
+            post(delay, peer.deliver_block, block, on_peer_commit, base_time, batch)
 
     def _on_peer_commit(self, peer: Peer, block: Block) -> None:
         if peer is self.reference_peer:
+            now = self.sim.now
+            bus = self.bus
             for tx in block.transactions:
-                tx.committed_at = self.sim.now
+                tx.committed_at = now
+                if bus is None:
+                    continue
                 if tx.is_committed:
-                    self.emit(LifecycleEventType.COMMITTED, tx)
+                    bus.emit_tx(LifecycleEventType.COMMITTED, now, tx)
                 else:
-                    self.emit(
-                        LifecycleEventType.ABORTED, tx, failure_type=failure_type_of(tx)
-                    )
+                    bus.emit_failure(LifecycleEventType.ABORTED, now, tx)
 
     # -------------------------------------------------------------- inspection
     @property

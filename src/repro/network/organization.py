@@ -25,6 +25,11 @@ class Organization:
     index: int
     name: str
     peers: List["Peer"] = field(default_factory=list)
+    #: Cached endorser list for :meth:`pick_endorser`, invalidated whenever
+    #: the peer roster changes length (peers are only ever appended during
+    #: deployment build and their roles never change afterwards).
+    _endorsers: List["Peer"] = field(default_factory=list, repr=False, compare=False)
+    _endorsers_roster_size: int = field(default=-1, repr=False, compare=False)
 
     @property
     def endorsing_peers(self) -> List["Peer"]:
@@ -32,8 +37,15 @@ class Organization:
         return [peer for peer in self.peers if peer.is_endorser]
 
     def pick_endorser(self, rng: random.Random) -> "Peer":
-        """Choose one endorsing peer of this organization at random."""
-        endorsers = self.endorsing_peers
+        """Choose one endorsing peer of this organization at random.
+
+        ``rng.choice`` draws depend only on the sequence length, so choosing
+        from the cached list is draw-identical to rebuilding it per call.
+        """
+        if self._endorsers_roster_size != len(self.peers):
+            self._endorsers = [peer for peer in self.peers if peer.is_endorser]
+            self._endorsers_roster_size = len(self.peers)
+        endorsers = self._endorsers
         if not endorsers:
             raise ConfigurationError(
                 f"organization {self.name!r} has no endorsing peers; cannot endorse"

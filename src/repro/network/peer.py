@@ -74,6 +74,10 @@ class Peer:
         )
         self.validation_station = ServiceStation(sim, name=f"{name}-validation", servers=1)
         self._lagged_view = LaggedStateView(store, sim) if store is not None else None
+        #: Lazily cached :meth:`endorsement_state` result — the store, the
+        #: lagged view and the variant's snapshot flag are all fixed for the
+        #: peer's lifetime, so the per-proposal resolution is pure overhead.
+        self._endorse_state: Optional[StateStore] = None
 
     # -------------------------------------------------------------- execution
     def endorsement_state(self) -> StateStore:
@@ -90,10 +94,15 @@ class Peer:
         """Execution phase, steps 1-2: simulate the transaction and respond."""
         if not self.is_endorser:
             raise SimulationError(f"peer {self.name} received a proposal but is not an endorser")
-        stub = ChaincodeStub(self.endorsement_state())
-        chaincode.invoke(stub, tx.function, tx.args)
-        if not tx.db_call_latency:
-            tx.db_call_latency = dict(stub.db_call_latency)
+        state = self._endorse_state
+        if state is None:
+            state = self._endorse_state = self.endorsement_state()
+        stub = ChaincodeStub(state)
+        chaincode.execute(stub, tx.function, tx.args)
+        if tx._db_call_latency is None:
+            # Transfer ownership of the stub's latency dict: the stub is
+            # discarded right after, so no defensive copy is needed.
+            tx._db_call_latency = stub.db_call_latency
         service_time = (
             stub.execution_cost + self.timing.endorsement_overhead
         ) * self.config.resource_factor
@@ -109,16 +118,32 @@ class Peer:
             received_at=self.sim.now,
         )
         self.endorsements_served += 1
+        self.endorsement_station.submit(
+            service_time, self._finish_endorsement, response, on_response
+        )
 
-        def finish() -> None:
-            response.completed_at = self.sim.now
-            on_response(self, response)
-
-        self.endorsement_station.submit(service_time, finish)
+    def _finish_endorsement(
+        self, response: EndorsementResponse, on_response: EndorsementCallback
+    ) -> None:
+        response.completed_at = self.sim.now
+        on_response(self, response)
 
     # ------------------------------------------------------------- validation
-    def deliver_block(self, block: Block, on_committed: CommitCallback) -> None:
+    def deliver_block(
+        self,
+        block: Block,
+        on_committed: CommitCallback,
+        base_time: Optional[float] = None,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
         """Validation phase, steps 6-8: validate, commit and update the state.
+
+        ``base_time`` and ``batch`` are per-block values the ordering service
+        computes once and shares with every peer: the variant's validation
+        service time (identical across peers — only the jitter differs) and
+        the canonical validator's staged write batch (read-only after
+        validation).  Both are recomputed locally when absent so direct
+        callers and old call sites keep working.
 
         A crashed peer (see :mod:`repro.faults`) cannot receive blocks; the
         delivery is parked with the fault controller and replayed in arrival
@@ -128,18 +153,24 @@ class Peer:
         """
         if self.faults is not None and self.faults.peer_crashed(self.name):
             self.faults.defer_block_delivery(
-                self.name, functools.partial(self.deliver_block, block, on_committed)
+                self.name,
+                functools.partial(self.deliver_block, block, on_committed, base_time, batch),
             )
             return
-        base_time = self.variant.validation_service_time(block, self.config)
+        if base_time is None:
+            base_time = self.variant.validation_service_time(block, self.config)
         jitter = self.timing.validation_jitter
         jitter_factor = 1.0 + self.rng.uniform(-jitter, jitter)
         service_time = max(0.0, base_time * self.config.resource_factor * jitter_factor)
-        self.validation_station.submit(service_time, self._commit_block, block, on_committed)
+        self.validation_station.submit(
+            service_time, self._commit_block, block, on_committed, batch
+        )
 
-    def _commit_block(self, block: Block, on_committed: CommitCallback) -> None:
+    def _commit_block(
+        self, block: Block, on_committed: CommitCallback, batch: Optional[WriteBatch] = None
+    ) -> None:
         if self.store is not None:
-            self._apply_block(block)
+            self._apply_block(block, batch)
             if self._lagged_view is not None:
                 snapshot_delay = self.rng.uniform(0.0, self.timing.sharp_snapshot_delay)
                 self._lagged_view.refresh(visible_after=self.sim.now + snapshot_delay)
@@ -147,24 +178,28 @@ class Peer:
         self.blocks_committed += 1
         on_committed(self, block)
 
-    def _apply_block(self, block: Block) -> None:
+    def _apply_block(self, block: Block, batch: Optional[WriteBatch] = None) -> None:
         """Apply the write sets of the valid transactions as one atomic batch.
 
-        The batch commit bumps the store's epoch and journals the changed
-        keys' pre-images — which is exactly what the lagged snapshot view
-        then pins in :meth:`_commit_block`.
+        When the ordering service shares the canonical validator's batch it is
+        applied directly (its staged entries are identical to the rebuild
+        below and never mutated by any store).  The batch commit bumps the
+        store's epoch and journals the changed keys' pre-images — which is
+        exactly what the lagged snapshot view then pins in
+        :meth:`_commit_block`.
         """
         assert self.store is not None
-        batch = WriteBatch(block.number)
-        for index, tx in enumerate(block.transactions):
-            if tx.validation_code is not ValidationCode.VALID or tx.rwset is None:
-                continue
-            version = Version(block_number=block.number, tx_number=index)
-            for write in tx.rwset.writes:
-                if write.is_delete:
-                    batch.delete(write.key)
-                else:
-                    batch.put(write.key, write.value, version)
+        if batch is None:
+            batch = WriteBatch(block.number)
+            for index, tx in enumerate(block.transactions):
+                if tx.validation_code is not ValidationCode.VALID or tx.rwset is None:
+                    continue
+                version = Version(block_number=block.number, tx_number=index)
+                for write in tx.rwset.writes:
+                    if write.is_delete:
+                        batch.delete(write.key)
+                    else:
+                        batch.put(write.key, write.value, version)
         self.store.apply_batch(batch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

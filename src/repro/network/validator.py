@@ -44,12 +44,7 @@ from repro.ledger.block import Block, Transaction, ValidationCode
 from repro.ledger.kvstore import Version
 from repro.ledger.rwset import ReadWriteSet
 from repro.ledger.store import _MISS, MutableStateStore, WriteBatch
-from repro.lifecycle.events import (
-    LifecycleBus,
-    LifecycleEventType,
-    emit_event,
-    failure_type_of,
-)
+from repro.lifecycle.events import LifecycleBus, LifecycleEventType
 
 
 class BlockValidator:
@@ -70,8 +65,14 @@ class BlockValidator:
         self.bus = bus
 
     # ----------------------------------------------------------------- blocks
-    def validate_block(self, block: Block) -> None:
-        """Validate every transaction of ``block`` and commit the valid writes."""
+    def validate_block(self, block: Block) -> WriteBatch:
+        """Validate every transaction of ``block`` and commit the valid writes.
+
+        Returns the applied :class:`WriteBatch`.  Staged entries are never
+        mutated after this method returns, so the ordering service hands the
+        same batch to every peer's replica commit instead of each peer
+        rebuilding an identical batch from the block's write sets.
+        """
         batch = WriteBatch(block.number)
         for index, tx in enumerate(block.transactions):
             tx.block_number = block.number
@@ -84,15 +85,16 @@ class BlockValidator:
                     self._stage_writes(tx, batch, block.number, index)
             self._emit_validated(tx)
         self.store.apply_batch(batch)
+        return batch
 
     def _emit_validated(self, tx: Transaction) -> None:
-        emit_event(
-            self.bus,
-            LifecycleEventType.VALIDATED,
-            tx.ordered_at if tx.ordered_at is not None else 0.0,
-            tx,
-            failure_type=failure_type_of(tx),
-        )
+        bus = self.bus
+        if bus is not None:
+            bus.emit_failure(
+                LifecycleEventType.VALIDATED,
+                tx.ordered_at if tx.ordered_at is not None else 0.0,
+                tx,
+            )
 
     # ----------------------------------------------------------- transactions
     def _validate_transaction(self, tx: Transaction, batch: WriteBatch) -> ValidationCode:

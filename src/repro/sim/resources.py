@@ -58,10 +58,18 @@ class ServiceStation:
         if service_time < 0:
             raise SimulationError(f"negative service time {service_time} on {self.name}")
         now = self.sim.now
-        earliest_free = heapq.heappop(self._free_at)
-        start = max(now, earliest_free)
-        completion = start + service_time
-        heapq.heappush(self._free_at, completion)
+        free_at = self._free_at
+        if len(free_at) == 1:
+            # Single-server stations (validation, consensus) skip the heap:
+            # the lone slot is read and overwritten in place.
+            start = max(now, free_at[0])
+            completion = start + service_time
+            free_at[0] = completion
+        else:
+            earliest_free = heapq.heappop(free_at)
+            start = max(now, earliest_free)
+            completion = start + service_time
+            heapq.heappush(free_at, completion)
         self.jobs_served += 1
         self.busy_time += service_time
         self.waiting_time.add(start - now)

@@ -10,6 +10,7 @@ client given its share of the total rate.
 from __future__ import annotations
 
 import random
+from math import log as _log
 
 from repro.errors import WorkloadError
 
@@ -36,10 +37,27 @@ class ArrivalProcess:
         return 1.0 / self.rate
 
     def schedule(self, duration: float) -> list[float]:
-        """All arrival times in ``[0, duration)`` for this client."""
+        """All arrival times in ``[0, duration)`` for this client.
+
+        The Poisson path inlines ``expovariate`` (CPython:
+        ``-log(1.0 - random()) / lambd``) with the uniform source hoisted.
+        The number of draws is data-dependent and the stream is shared with
+        the owning client's other decisions, so the draws replay the exact
+        per-call loop — one uniform per arrival, identical values and final
+        RNG state — rather than over-drawing a buffer.
+        """
         if duration < 0:
             raise WorkloadError(f"the schedule duration must be >= 0, got {duration}")
-        arrivals = []
+        arrivals: list[float] = []
+        if self.poisson:
+            rate = self.rate
+            random_ = self.rng.random
+            append = arrivals.append
+            clock = -_log(1.0 - random_()) / rate
+            while clock < duration:
+                append(clock)
+                clock += -_log(1.0 - random_()) / rate
+            return arrivals
         clock = self.next_interarrival()
         while clock < duration:
             arrivals.append(clock)

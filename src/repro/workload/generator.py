@@ -10,8 +10,11 @@ transactions, the transaction distribution ... and the key distribution".
 from __future__ import annotations
 
 import random
+import sys
+from bisect import bisect
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from itertools import accumulate
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chaincode.base import Chaincode
 from repro.errors import WorkloadError
@@ -70,30 +73,51 @@ class WorkloadGenerator:
                     f"{chaincode.name!r} does not define"
                 )
             if weight > 0:
-                self._functions.append(function)
+                # Function names travel on every Transaction and are compared
+                # and hashed along the whole pipeline; intern them once.
+                self._functions.append(sys.intern(function))
                 self._weights.append(weight)
         if not self._functions:
             raise WorkloadError("the transaction mix assigns zero weight to every function")
+        # Precomputed state of the per-request function draw: replicates
+        # ``rng.choices(functions, weights=weights, k=1)`` exactly (one
+        # ``random()`` draw, cumulative weights + bisect — see CPython's
+        # ``random.choices``) without re-accumulating the weights every call.
+        self._cum_weights: List[float] = list(accumulate(self._weights))
+        self._weights_total: float = self._cum_weights[-1] + 0.0
+        self._bisect_hi: int = len(self._functions) - 1
+        self._read_only: Dict[str, bool] = {
+            function: chaincode.is_read_only(function) for function in self._functions
+        }
+        self._first_index: Optional[int] = None
+
+    def _chooser(self, population: int) -> int:
+        """Entity-index chooser handed to ``sample_args`` (bound, reusable).
+
+        The first draw of a request uses ``primary_distribution`` and is
+        recorded as the request's ``entity_index``; every further draw uses
+        the base ``key_distribution``.  Replaces the former per-request
+        closure + recording list.
+        """
+        if self._first_index is None:
+            index = self.primary_distribution.sample(self.rng, population)
+            self._first_index = index
+            return index
+        return self.key_distribution.sample(self.rng, population)
 
     def next_request(self) -> TransactionRequest:
         """Draw the next invocation."""
-        function = self.rng.choices(self._functions, weights=self._weights, k=1)[0]
-        recorded: List[int] = []
-
-        def chooser(population: int) -> int:
-            if not recorded:
-                index = self.primary_distribution.sample(self.rng, population)
-            else:
-                index = self.key_distribution.sample(self.rng, population)
-            recorded.append(index)
-            return index
-
-        args = self.chaincode.sample_args(function, self.rng, chooser)
+        rng = self.rng
+        function = self._functions[
+            bisect(self._cum_weights, rng.random() * self._weights_total, 0, self._bisect_hi)
+        ]
+        self._first_index = None
+        args = self.chaincode.sample_args(function, rng, self._chooser)
         return TransactionRequest(
             function=function,
             args=args,
-            read_only=self.chaincode.is_read_only(function),
-            entity_index=recorded[0] if recorded else None,
+            read_only=self._read_only[function],
+            entity_index=self._first_index,
         )
 
     def generate(self, count: int) -> List[TransactionRequest]:

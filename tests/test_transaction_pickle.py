@@ -1,0 +1,99 @@
+"""Pickle round-trips for the slots pipeline objects (sharded worker boundary).
+
+The sharded execution path (:mod:`repro.channels.sharded`) ships per-channel
+``RunRecord`` s — transactions, blocks, read/write sets — across a
+``multiprocessing`` boundary.  The hot-path refactor turned those objects into
+``__slots__`` classes with *lazy* containers, and slots classes only pickle
+when the default reduce protocol can see all their state; these regression
+tests pin that property at every protocol ``multiprocessing`` might use.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.ledger.block import Block, BlockCutReason, EndorsementResponse, Transaction
+from repro.ledger.rwset import KeyRead, KeyWrite, ReadWriteSet, Version
+
+PROTOCOLS = sorted({pickle.DEFAULT_PROTOCOL, pickle.HIGHEST_PROTOCOL})
+
+
+def _rwset() -> ReadWriteSet:
+    return ReadWriteSet(
+        reads=[KeyRead("patient-0001", Version(3, 1))],
+        writes=[KeyWrite("patient-0001", "record", False)],
+    )
+
+
+def _endorsed_transaction() -> Transaction:
+    tx = Transaction(
+        tx_id="tx-00000042",
+        client_name="client-0",
+        chaincode_name="ehr",
+        function="update_record",
+        args=("patient-0001",),
+        submitted_at=1.25,
+        rwset=_rwset(),
+    )
+    tx.endorsements.append(
+        EndorsementResponse(
+            peer_name="org1-peer0",
+            org_name="org1",
+            rwset=_rwset(),
+            completed_at=1.5,
+            received_at=1.3,
+        )
+    )
+    tx.db_call_latency["get_state"] = 0.004
+    return tx
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_pristine_transaction_round_trips(protocol):
+    """A fresh transaction whose lazy containers were never materialized."""
+    tx = Transaction(
+        tx_id="tx-00000000",
+        client_name="client-1",
+        chaincode_name="ehr",
+        function="read_record",
+        read_only=True,
+    )
+    clone = pickle.loads(pickle.dumps(tx, protocol))
+    assert clone.tx_id == tx.tx_id
+    assert clone.read_only is True
+    # The lazy containers survive the boundary *unmaterialized* — the worker
+    # side should not pay a list + dict per transaction either.
+    assert clone._endorsements is None
+    assert clone._db_call_latency is None
+    assert clone.endorsement_count == 0
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_endorsed_transaction_round_trips(protocol):
+    tx = _endorsed_transaction()
+    clone = pickle.loads(pickle.dumps(tx, protocol))
+    assert clone.tx_id == tx.tx_id
+    assert clone.endorsement_count == 1
+    assert clone.endorsements[0] == tx.endorsements[0]
+    assert clone.db_call_latency == {"get_state": 0.004}
+    assert clone.rwset == tx.rwset
+    assert clone.rwset.reads[0].version == Version(3, 1)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_block_of_transactions_round_trips(protocol):
+    block = Block(
+        number=7,
+        transactions=[_endorsed_transaction()],
+        cut_reason=BlockCutReason.BLOCK_TIMEOUT,
+        created_at=2.0,
+        consensus_completed_at=2.5,
+    )
+    clone = pickle.loads(pickle.dumps(block, protocol))
+    assert clone.number == 7
+    assert clone.cut_reason is BlockCutReason.BLOCK_TIMEOUT
+    assert clone.size == 1
+    assert clone.transactions[0].tx_id == "tx-00000042"
+    assert clone.transactions[0].endorsements == block.transactions[0].endorsements
