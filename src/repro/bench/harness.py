@@ -32,6 +32,7 @@ from repro.sim.shard import ExecutionConfig
 
 from repro.chaincode import CHAINCODE_REGISTRY, create_chaincode
 from repro.chaincode.base import Chaincode
+from repro.checker.config import CheckerConfig
 from repro.core.analyzer import ExperimentAnalysis, LedgerAnalyzer
 from repro.core.metrics import ExperimentMetrics
 from repro.errors import ConfigurationError
@@ -122,11 +123,13 @@ def _canonical(value):
     seeds and every cached result) it had before the subsystem existed.
 
     An :class:`~repro.observability.config.ObservabilityConfig` is omitted
-    *unconditionally* — enabled or not.  Observation never influences the
-    simulation, so tracing a cell must keep its identity, its per-repetition
-    seeds and its results bit-identical to the untraced cell.  (Consequence:
-    cached sweep results carry no trace data, so the sweep CLI bypasses the
-    result cache when an export is requested.)
+    *unconditionally* — enabled or not — and so is a
+    :class:`~repro.checker.config.CheckerConfig`.  Observation never
+    influences the simulation, so tracing or certifying a cell must keep its
+    identity, its per-repetition seeds and its results bit-identical to the
+    unobserved cell.  (Consequence: cached sweep results carry no trace data
+    or verdicts, so the sweep CLI bypasses the result cache when an export or
+    an isolation check is requested.)
 
     An :class:`~repro.sim.shard.ExecutionConfig` is omitted unless it selects
     *conservative* epoch execution: sharding independent channels across
@@ -139,7 +142,7 @@ def _canonical(value):
         return {
             field.name: _canonical(getattr(value, field.name))
             for field in dataclasses.fields(value)
-            if not isinstance(getattr(value, field.name), ObservabilityConfig)
+            if not isinstance(getattr(value, field.name), (ObservabilityConfig, CheckerConfig))
             and not (
                 isinstance(getattr(value, field.name), ExecutionConfig)
                 and not getattr(value, field.name).conservative

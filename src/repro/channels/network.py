@@ -42,6 +42,7 @@ from repro.channels.channel import Channel, ChannelGateway
 from repro.channels.coordinator import CrossChannelCoordinator
 from repro.channels.topology import ChannelRouter, ChannelTopology, ShardedKeyDistribution
 from repro.chaincode.base import Chaincode
+from repro.checker.checker import merge_isolation_reports
 from repro.errors import ConfigurationError
 from repro.ledger.block import Transaction
 from repro.ledger.ledger import Ledger
@@ -240,6 +241,9 @@ class MultiChannelNetwork:
             ),
             fault_injections=self._merge_fault_stats(channel_records),
             observability=observability,
+            isolation=merge_isolation_reports(
+                record.record.isolation for record in channel_records
+            ),
         )
 
     @staticmethod

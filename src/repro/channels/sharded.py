@@ -56,6 +56,7 @@ from repro.channels.channel import Channel, ChannelGateway
 from repro.channels.network import MultiChannelNetwork
 from repro.channels.topology import ChannelRouter, ChannelTopology, ShardedKeyDistribution
 from repro.chaincode.base import Chaincode
+from repro.checker.checker import merge_isolation_reports
 from repro.errors import ConfigurationError, SimulationError
 from repro.ledger.block import Transaction, ValidationCode
 from repro.ledger.ledger import Ledger
@@ -402,7 +403,7 @@ def record_fingerprint(record: RunRecord) -> dict:
         ]
 
     def run_digest(run: RunRecord) -> dict:
-        return {
+        digest = {
             "variant": run.variant_name,
             "chaincode": run.chaincode_name,
             "workload": run.workload_name,
@@ -428,6 +429,13 @@ def record_fingerprint(record: RunRecord) -> dict:
             "read_only_skipped": [tx_digest(tx) for tx in run.read_only_skipped],
             "ledger": ledger_digest(run.ledger),
         }
+        # Isolation verdicts and witness sets are part of the fingerprint:
+        # execution strategies must certify and refute identically, witness
+        # for witness.  The key is omitted entirely when checking is off so
+        # that enabling the checker never perturbs pre-checker golden digests.
+        if run.isolation is not None:
+            digest["isolation"] = run.isolation.summary()
+        return digest
 
     digest = run_digest(record)
     digest["channels"] = [
@@ -922,6 +930,9 @@ class ShardedChannelNetwork:
                 [record.record.fault_injections for record in channel_records]
             ),
             observability=observability,
+            isolation=merge_isolation_reports(
+                record.record.isolation for record in channel_records
+            ),
             execution=execution,
             shard_count=shard_count,
         )

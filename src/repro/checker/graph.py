@@ -1,0 +1,107 @@
+"""Incremental cycle detection for the serialization graphs.
+
+The checker feeds dependency edges into an :class:`IncrementalDAG` one at a
+time as transactions commit; the structure maintains an online topological
+order with the Pearce-Kelly affected-region algorithm (the classic incremental
+maintenance recipe PAPERS.md points at for streaming graph queries).  Inserting
+an edge that is already consistent with the order costs O(1); an inconsistent
+edge triggers a search bounded by the affected region — the nodes whose order
+lies between the edge's endpoints — which stays tiny for the near-topological
+insertion order a committed history produces.
+
+When an edge would close a cycle the structure *refuses* it and returns the
+existing path from the edge's target back to its source, which the checker
+turns into an anomaly witness.  Rejecting the edge keeps the graph acyclic, so
+checking continues past the first anomaly and later, independent cycles are
+still detected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+Node = Hashable
+
+
+class IncrementalDAG:
+    """A directed graph kept acyclic through an online topological order."""
+
+    __slots__ = ("_order", "_next_order", "_out", "_in")
+
+    def __init__(self) -> None:
+        #: Current topological position of every node (unique ints).
+        self._order: Dict[Node, int] = {}
+        self._next_order = 0
+        self._out: Dict[Node, List[Node]] = {}
+        self._in: Dict[Node, List[Node]] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._order
+
+    def add_node(self, node: Node) -> None:
+        """Register ``node`` (idempotent); new nodes sort after existing ones."""
+        if node not in self._order:
+            self._order[node] = self._next_order
+            self._next_order += 1
+            self._out[node] = []
+            self._in[node] = []
+
+    def add_edge(self, source: Node, target: Node) -> Optional[List[Node]]:
+        """Insert ``source -> target``, or return the cycle it would close.
+
+        Returns ``None`` on success.  When the edge would create a cycle the
+        graph is left unchanged and the return value is the path
+        ``[target, ..., source]`` along *existing* edges — prepending the
+        refused ``source -> target`` edge closes the cycle.
+        """
+        order = self._order
+        lower, upper = order[target], order[source]
+        if upper < lower:
+            # Already consistent with the topological order: O(1) insert.
+            self._out[source].append(target)
+            self._in[target].append(source)
+            return None
+        # Forward search from the target through the affected region
+        # (orders in [lower, upper]); reaching the source means a cycle.
+        parent: Dict[Node, Optional[Node]] = {target: None}
+        stack = [target]
+        forward: List[Node] = []
+        while stack:
+            node = stack.pop()
+            forward.append(node)
+            for successor in self._out[node]:
+                if successor == source:
+                    path = [source]
+                    cursor: Optional[Node] = node
+                    while cursor is not None:
+                        path.append(cursor)
+                        cursor = parent[cursor]
+                    path.reverse()
+                    return path
+                if successor not in parent and order[successor] < upper:
+                    parent[successor] = node
+                    stack.append(successor)
+        # No cycle: backward search from the source, then re-map both regions
+        # onto the sorted pool of their old positions (Pearce-Kelly).
+        seen = {source}
+        stack = [source]
+        backward: List[Node] = []
+        while stack:
+            node = stack.pop()
+            backward.append(node)
+            for predecessor in self._in[node]:
+                if predecessor not in seen and order[predecessor] > lower:
+                    seen.add(predecessor)
+                    stack.append(predecessor)
+        backward.sort(key=order.__getitem__)
+        forward.sort(key=order.__getitem__)
+        affected = backward + forward
+        pool = sorted(order[node] for node in affected)
+        for node, position in zip(affected, pool):
+            order[node] = position
+        self._out[source].append(target)
+        self._in[target].append(source)
+        return None

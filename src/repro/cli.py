@@ -26,12 +26,22 @@ library without writing Python:
     Analyze a Chrome trace written by ``run``/``sweep --trace-out``: per-stage
     critical-path attribution of the committed transactions' latency.
 
+``python -m repro check <file>``
+    Re-check an exported committed history (``run --check-isolation
+    --history-out FILE``) through the streaming isolation checker: per-channel
+    serializability/snapshot-isolation verdicts with anomaly witnesses.  Exits
+    0 when the history certifies at ``--level``, 1 when it is refuted.
+
 ``run`` and ``sweep`` additionally accept ``--trace-out FILE`` (Chrome
 trace-event JSON, loadable in Perfetto or ``chrome://tracing``) and
 ``--metrics-out FILE`` (registry summary + sampled sim-time series + fault
 markers); exporting never changes results — observability is excluded from
 experiment cell identity (sweeps bypass the result cache when exporting, since
-cached results carry no trace data).
+cached results carry no trace data).  ``run`` and ``sweep`` also accept
+``--check-isolation`` (certify every channel's committed history online; see
+:mod:`repro.checker`) and ``run`` accepts ``--history-out FILE`` (export the
+committed history for ``repro check``; implies ``--check-isolation``) — like
+observability, checking never changes results or cell identity.
 
 Every experiment command accepts the multi-channel flags ``--channels``,
 ``--placement`` and ``--cross-channel-rate`` (see :mod:`repro.channels`), the
@@ -62,6 +72,13 @@ from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experime
 from repro.bench.reporting import format_table
 from repro.bench.runner import SWEEP_HEADERS, ExperimentRunner, ResultCache, SweepPlan
 from repro.chaincode import CHAINCODE_REGISTRY
+from repro.checker.checker import (
+    LEVEL_SERIALIZABLE,
+    LEVEL_SNAPSHOT_ISOLATION,
+    CheckerConfig,
+    IsolationReport,
+)
+from repro.checker.history import check_history, write_history
 from repro.core.analyzer import ExperimentAnalysis
 from repro.core.recommendations import RecommendationEngine
 from repro.errors import ConfigurationError, ReproError
@@ -176,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment and explain the failures")
     _add_experiment_arguments(run_parser)
     _add_observability_arguments(run_parser)
+    _add_checker_arguments(run_parser, history_out=True)
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare Fabric variants on the same workload"
@@ -194,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_experiment_arguments(sweep_parser)
     _add_observability_arguments(sweep_parser)
+    _add_checker_arguments(sweep_parser, history_out=False)
     sweep_parser.add_argument(
         "--variants",
         nargs="*",
@@ -241,6 +260,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summary_parser.add_argument("file", help="trace file written by run/sweep --trace-out")
     summary_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as a machine-readable JSON document",
+    )
+
+    check_parser = subparsers.add_parser(
+        "check", help="re-check an exported committed history for isolation anomalies"
+    )
+    check_parser.add_argument(
+        "file", help="history file written by run --check-isolation --history-out"
+    )
+    check_parser.add_argument(
+        "--level",
+        default=LEVEL_SERIALIZABLE,
+        type=_choice("isolation level", (LEVEL_SERIALIZABLE, LEVEL_SNAPSHOT_ISOLATION)),
+        help="isolation level the history must certify at (default: serializable)",
+    )
+    check_parser.add_argument(
+        "--witness-limit",
+        type=int,
+        default=4,
+        help="anomaly witnesses to retain per channel (default 4)",
+    )
+    check_parser.add_argument(
         "--json",
         action="store_true",
         help="print the report as a machine-readable JSON document",
@@ -375,6 +418,27 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checker_arguments(parser: argparse.ArgumentParser, history_out: bool) -> None:
+    parser.add_argument(
+        "--check-isolation",
+        action="store_true",
+        help=(
+            "certify every channel's committed history online (serializability "
+            "and snapshot isolation, with anomaly witnesses on refutation)"
+        ),
+    )
+    if history_out:
+        parser.add_argument(
+            "--history-out",
+            default=None,
+            metavar="FILE",
+            help=(
+                "write the committed history as JSON for 'repro check' "
+                "(implies --check-isolation)"
+            ),
+        )
+
+
 def _ensure_writable(path: str, option: str) -> None:
     """Reject unwritable export targets before spending time on the run."""
     if os.path.isdir(path):
@@ -405,6 +469,16 @@ def _observability_config(args: argparse.Namespace) -> ObservabilityConfig:
     )
 
 
+def _checker_config(args: argparse.Namespace) -> CheckerConfig:
+    """The checker config requested by --check-isolation/--history-out."""
+    history_out = getattr(args, "history_out", None)
+    if history_out is not None:
+        _ensure_writable(history_out, "--history-out")
+    return CheckerConfig(
+        enabled=getattr(args, "check_isolation", False) or history_out is not None
+    )
+
+
 def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) -> ExperimentConfig:
     return ExperimentConfig(
         variant=variant or args.variant,
@@ -427,6 +501,7 @@ def _experiment_config(args: argparse.Namespace, variant: Optional[str] = None) 
             ),
             faults=args.fault_spec if args.fault_spec is not None else FaultConfig(),
             observability=_observability_config(args),
+            checker=_checker_config(args),
         ),
         arrival_rate=args.rate,
         duration=args.duration,
@@ -489,6 +564,8 @@ def _analysis_summary(analysis: ExperimentAnalysis) -> dict:
             stage: dict(row) for stage, row in metrics.stage_latency.items()
         },
     }
+    if analysis.record.isolation is not None:
+        summary["isolation"] = analysis.record.isolation.summary()
     if analysis.channel_analyses:
         summary["channels"] = [
             {
@@ -531,6 +608,9 @@ def _command_run(args: argparse.Namespace) -> int:
     # With repetitions > 1 every repetition is traced identically configured;
     # the exports cover the first repetition (the others differ only by seed).
     export_notices = _export_observability(args, analysis)
+    if getattr(args, "history_out", None) is not None:
+        write_history(args.history_out, analysis.record)
+        export_notices.append(f"committed history written to {args.history_out}")
     report = analysis.failure_report
     recommendations = RecommendationEngine().recommend(analysis)
     if args.json:
@@ -574,6 +654,10 @@ def _command_run(args: argparse.Namespace) -> int:
     ]
     if args.channels > 1:
         rows.append(("cross-channel aborts (%)", report.cross_channel_abort_pct))
+    isolation = analysis.record.isolation
+    if isolation is not None:
+        rows.append(("isolation verdict", isolation.verdict))
+        rows.append(("isolation anomalies", isolation.anomaly_count))
     if analysis.record.shard_count > 1:
         rows.append(
             ("execution", f"{analysis.record.execution} ({analysis.record.shard_count} shards)")
@@ -624,6 +708,11 @@ def _command_run(args: argparse.Namespace) -> int:
                 title="Per-channel breakdown",
             )
         )
+    if isolation is not None and not isolation.serializable:
+        print("\nIsolation anomalies (first witnesses):")
+        for channel in isolation.channels:
+            for witness in channel.anomalies:
+                print(f"  - [{witness.level}] {witness.description}")
     data = analysis.record.observability
     if data is not None and data.spans:
         print("\nCritical path (committed transactions):")
@@ -703,11 +792,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
         zipf_skews=args.skews,
     )
     exporting = args.trace_out is not None or args.metrics_out is not None
-    cache = None if args.no_cache or exporting else ResultCache(args.cache_dir)
+    checking = getattr(args, "check_isolation", False)
+    cache = None if args.no_cache or exporting or checking else ResultCache(args.cache_dir)
     if exporting and not args.no_cache:
         # Observability is excluded from cell identity, so cached results of
         # the same cells carry no trace data; run the cells fresh instead.
         print("note: result cache bypassed while exporting traces/metrics", file=sys.stderr)
+    if checking and not args.no_cache and not exporting:
+        # Same exclusion for the checker: cached results carry no verdicts.
+        print("note: result cache bypassed while checking isolation", file=sys.stderr)
     runner = ExperimentRunner(workers=args.workers, cache=cache)
     outcome = runner.run_sweep(plan)
     if exporting:
@@ -746,6 +839,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
                         "average_latency_s": result.average_latency,
                         "committed_throughput_tps": result.committed_throughput,
                         "failures": result.analyses[0].failure_report.as_dict(),
+                        **(
+                            {"isolation": result.analyses[0].record.isolation.summary()}
+                            if result.analyses[0].record.isolation is not None
+                            else {}
+                        ),
                     }
                     for cell, result in zip(outcome.cells, outcome.results)
                 ],
@@ -766,6 +864,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"({args.chaincode}, {args.cluster})"
     )
     print(format_table(SWEEP_HEADERS, outcome.rows(), title=title))
+    if checking:
+        verdict_rows = [
+            (
+                f"{cell.variant}-bs{cell.block_size}-r{cell.arrival_rate:g}-z{cell.zipf_skew:g}",
+                result.analyses[0].record.isolation.verdict
+                if result.analyses[0].record.isolation is not None
+                else "n/a",
+            )
+            for cell, result in zip(outcome.cells, outcome.results)
+        ]
+        print()
+        print(format_table(("cell", "isolation"), verdict_rows, title="Isolation verdicts"))
     print(f"\n{outcome.stats.describe()}")
     return 0
 
@@ -795,6 +905,48 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    if args.witness_limit < 1:
+        raise ConfigurationError(f"--witness-limit must be >= 1, got {args.witness_limit}")
+    report: IsolationReport = check_history(args.file, witness_limit=args.witness_limit)
+    certified = report.certifies(args.level)
+    if args.json:
+        _print_json(
+            {
+                "command": "check",
+                "file": args.file,
+                "level": args.level,
+                "certified": certified,
+                **report.summary(),
+            }
+        )
+        return 0 if certified else 1
+    rows = [
+        (
+            "aggregate" if channel.channel is None else f"channel-{channel.channel}",
+            channel.verdict,
+            channel.committed,
+            channel.aborted,
+            channel.serializable_violations,
+            channel.si_violations,
+            channel.dangling_reads,
+        )
+        for channel in report.channels
+    ]
+    print(
+        format_table(
+            ("channel", "verdict", "committed", "aborted", "ser_cycles", "si_cycles", "dangling"),
+            rows,
+            title=f"Isolation check: {args.file}",
+        )
+    )
+    for channel in report.channels:
+        for witness in channel.anomalies:
+            print(f"  - [{witness.level}] {witness.description}")
+    print(f"\n{report.verdict} (required: {args.level})")
+    return 0 if certified else 1
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     experiment = EXPERIMENT_INDEX[args.artefact]
     report = experiment(_SCALES[args.scale])
@@ -815,6 +967,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "trace":
             return _command_trace(args)
+        if args.command == "check":
+            return _command_check(args)
         if args.command == "figure":
             return _command_figure(args)
     except ReproError as error:

@@ -200,6 +200,10 @@ class ExperimentMetrics:
     #: Per-lifecycle-stage latency breakdown: stage name ->
     #: ``{"count", "mean_s", "p95_s"}`` (only stages any transaction reached).
     stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Isolation-checker verdict summary of the run (see
+    #: :meth:`repro.checker.checker.IsolationReport.summary`; empty unless
+    #: ``config.checker`` was enabled).
+    isolation: Dict[str, object] = field(default_factory=dict)
 
     @property
     def failure_pct(self) -> float:
@@ -407,4 +411,5 @@ def compute_metrics(
         measurement_horizon=horizon,
         latency_quantiles=_latency_quantiles(record.transactions),
         stage_latency=_stage_latency(record),
+        isolation=record.isolation.summary() if record.isolation is not None else {},
     )

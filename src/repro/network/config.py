@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.checker.config import CheckerConfig
 from repro.errors import ConfigurationError
 from repro.faults.spec import FaultConfig
 from repro.ledger.kvstore import COUCHDB_PROFILE, LEVELDB_PROFILE, DatabaseLatencyProfile
@@ -191,6 +192,11 @@ class NetworkConfig:
     #: not influence the simulation, so tracing a cell keeps its identity,
     #: per-repetition seeds and results bit-identical.
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    #: Online isolation checking (see :mod:`repro.checker`).  Off by default,
+    #: and — like observability — *never* part of the experiment cell hash:
+    #: the checker only observes the committed history, so certifying a cell
+    #: keeps its identity, per-repetition seeds and results bit-identical.
+    checker: CheckerConfig = field(default_factory=CheckerConfig)
     #: Parallel-execution strategy for multi-channel runs (see
     #: :mod:`repro.sim.shard`).  ``shard_workers=1`` (the default) keeps the
     #: shared-clock path; sharded execution of independent channels is
@@ -266,6 +272,7 @@ class NetworkConfig:
         self.retry.validate()
         self.faults.validate()
         self.observability.validate()
+        self.checker.validate()
         self.execution.validate()
         if self.execution.conservative and self.channels < 2:
             raise ConfigurationError(

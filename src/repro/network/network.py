@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.chaincode.base import Chaincode
+from repro.checker.checker import IsolationChecker, IsolationReport
 from repro.errors import ConfigurationError
 from repro.faults.controller import FaultController
 from repro.faults.schedule import FaultSchedule
@@ -113,6 +114,9 @@ class RunRecord:
     #: but *distinct* semantics).  Execution metadata: excluded, along with
     #: ``shard_count``, from bit-identity comparisons.
     execution: str = "shared-clock"
+    #: Per-channel isolation verdicts of the run (``None`` unless
+    #: ``config.checker`` is enabled; see :mod:`repro.checker`).
+    isolation: Optional[IsolationReport] = None
     #: Number of independent shards the run was partitioned into (1 = one
     #: simulator clock).
     shard_count: int = 1
@@ -259,6 +263,16 @@ class FabricNetwork:
             self.observer.add_queue_probe("orderer", lambda: self.orderer.pending_count)
             if self.faults is not None:
                 self.observer.watch_faults(self.faults)
+        #: Streaming isolation checker of this slice (``None`` unless
+        #: ``config.checker`` is enabled).  Installed per slice — on the
+        #: slice's *own* bus, not the piped deployment bus — so each channel
+        #: is checked against its own chain and the verdicts are identical
+        #: across shared-clock, sharded and conservative execution.
+        self.isolation_checker: Optional[IsolationChecker] = (
+            IsolationChecker(self.bus, self.config.checker, channel=channel_index)
+            if self.config.checker.enabled
+            else None
+        )
 
     # ---------------------------------------------------------------- topology
     def _build_topology(self, base_store: VersionedKVStore) -> None:
@@ -455,6 +469,11 @@ class FabricNetwork:
             retry_rate_denied=retry_stats["rate_denied"],
             fault_injections=self.faults.stats() if self.faults is not None else {},
             observability=observability,
+            isolation=(
+                self.isolation_checker.report()
+                if self.isolation_checker is not None
+                else None
+            ),
         )
 
     def run(

@@ -697,3 +697,122 @@ def test_sharded_and_shared_clock_runs_print_identical_metrics(capsys):
         document["result"].pop("execution")
         document["result"].pop("shard_count")
     assert sharded == shared
+
+
+# --------------------------------------------------------------------- checker
+RUN_CHECKED_ARGS = [
+    "run",
+    "--database",
+    "leveldb",
+    "--block-size",
+    "10",
+    "--rate",
+    "60",
+    "--duration",
+    "2",
+    "--check-isolation",
+]
+
+
+def test_check_command_on_missing_file_exits_2_listing_valid_inputs(capsys):
+    exit_code = main(["check", "/nonexistent/history.json"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "does not exist" in captured.err
+    assert "valid inputs:" in captured.err
+    assert "repro-history/1" in captured.err
+
+
+def test_check_command_on_malformed_json_exits_2(tmp_path, capsys):
+    target = tmp_path / "broken.json"
+    target.write_text("{not json", encoding="utf-8")
+    exit_code = main(["check", str(target)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "not a JSON document" in captured.err
+    assert "valid inputs:" in captured.err
+
+
+def test_check_command_on_wrong_format_exits_2(tmp_path, capsys):
+    target = tmp_path / "other.json"
+    target.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+    exit_code = main(["check", str(target)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "repro-history/1" in captured.err
+    assert "valid inputs:" in captured.err
+
+
+def test_check_command_rejects_non_positive_witness_limit(tmp_path, capsys):
+    target = tmp_path / "history.json"
+    target.write_text(json.dumps({"format": "repro-history/1", "channels": []}))
+    exit_code = main(["check", str(target), "--witness-limit", "0"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "--witness-limit" in captured.err
+
+
+def test_check_command_rejects_unknown_level(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", "whatever.json", "--level", "read-committed"])
+    assert excinfo.value.code == 2
+
+
+def test_run_check_isolation_and_offline_recheck_agree(tmp_path, capsys):
+    history = tmp_path / "history.json"
+    exit_code = main(RUN_CHECKED_ARGS + ["--history-out", str(history), "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert document["result"]["isolation"]["verdict"] == "CERTIFIED-SERIALIZABLE"
+    assert history.is_file()
+    exit_code = main(["check", str(history), "--json"])
+    checked = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert checked["certified"] is True
+    assert checked["verdict"] == document["result"]["isolation"]["verdict"]
+    assert checked["committed"] == document["result"]["isolation"]["committed"]
+
+
+def test_check_command_refutes_a_fabricated_anomaly_with_exit_1(tmp_path, capsys):
+    # A lost update: both transactions read the initial state of the same key
+    # and overwrite it.  ``repro check`` must refute with a printed witness.
+    history = {
+        "format": "repro-history/1",
+        "channels": [
+            {
+                "channel": None,
+                "committed": [
+                    {
+                        "tx": "t0",
+                        "block": 1,
+                        "index": 0,
+                        "reads": [["ka", None]],
+                        "writes": [["ka", False]],
+                    },
+                    {
+                        "tx": "t1",
+                        "block": 1,
+                        "index": 1,
+                        "reads": [["ka", None]],
+                        "writes": [["ka", False]],
+                    },
+                ],
+                "aborted": [],
+            }
+        ],
+    }
+    target = tmp_path / "lost_update.json"
+    target.write_text(json.dumps(history), encoding="utf-8")
+    exit_code = main(["check", str(target)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "REFUTED" in captured.out
+    assert "-rw[ka]->" in captured.out
+
+
+def test_run_text_output_prints_the_isolation_verdict(capsys):
+    exit_code = main(RUN_CHECKED_ARGS)
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "isolation verdict" in captured.out
+    assert "CERTIFIED-SERIALIZABLE" in captured.out

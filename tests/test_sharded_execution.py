@@ -22,6 +22,7 @@ import pytest
 from repro.bench.harness import ExperimentConfig, run_repetition
 from repro.bench.runner import ExperimentRunner
 from repro.channels.sharded import ShardedChannelNetwork, record_fingerprint
+from repro.checker.config import CheckerConfig
 from repro.errors import ConfigurationError
 from repro.ledger.block import reset_transaction_ids
 from repro.lifecycle.retry import RetryConfig
@@ -46,6 +47,7 @@ def experiment(
     observability: ObservabilityConfig = ObservabilityConfig(),
     retry_rate_cap=None,
     duration: float = 2.0,
+    checker: CheckerConfig = CheckerConfig(),
 ) -> ExperimentConfig:
     network = NetworkConfig(
         cluster="C1",
@@ -58,6 +60,7 @@ def experiment(
         cross_channel_rate=cross_channel_rate,
         execution=execution,
         observability=observability,
+        checker=checker,
     )
     if retry_rate_cap is not None:
         network.retry = RetryConfig(policy="immediate", rate_cap=retry_rate_cap)
@@ -257,6 +260,61 @@ def test_merged_samples_are_time_ordered_and_summed():
         column for row in samples for column in row if column.startswith("queue/")
     }
     assert queue_columns == {f"queue/orderer.ch{index}" for index in range(4)}
+
+
+# ------------------------------------------------------------------- checker
+CHECKED = CheckerConfig(enabled=True)
+
+
+def test_checker_verdicts_identical_across_execution_strategies():
+    # The checker subscribes to each channel slice's own bus, so the verdict
+    # and every retained witness must be bit-identical no matter how the
+    # channels were scheduled: shared clock, in-process shards, a real worker
+    # pool (the report crosses a process boundary), or conservative epochs
+    # (which degenerate to independent clocks on an uncoupled topology).
+    _, shared = run_cell(experiment(ExecutionConfig(), checker=CHECKED))
+    _, sharded = run_cell(experiment(ExecutionConfig(shard_workers=0), checker=CHECKED))
+    _, pooled = run_cell(experiment(ExecutionConfig(shard_workers=4), checker=CHECKED))
+    _, conservative = run_cell(
+        experiment(ExecutionConfig(conservative=True), checker=CHECKED)
+    )
+    assert shared.isolation is not None
+    summary = shared.isolation.summary()
+    assert summary["verdict"] == "CERTIFIED-SERIALIZABLE"
+    assert summary["committed"] > 0
+    assert sharded.isolation.summary() == summary
+    assert pooled.isolation.summary() == summary
+    assert conservative.isolation.summary() == summary
+    # record_fingerprint covers the isolation digest, so the existing
+    # bit-identity contract now extends to checker output as well.
+    assert record_fingerprint(sharded) == record_fingerprint(shared)
+    assert record_fingerprint(pooled) == record_fingerprint(shared)
+
+
+def test_fingerprint_covers_the_isolation_digest():
+    _, record = run_cell(experiment(ExecutionConfig(), checker=CHECKED))
+    baseline = record_fingerprint(record)
+    record.isolation = None
+    assert record_fingerprint(record) != baseline
+
+
+def test_checker_certifies_the_coupled_conservative_cell():
+    # Conservative epochs on a coupled topology are a distinct simulation
+    # semantics, but the committed history they produce must still certify —
+    # and deterministically so.
+    _, first = run_cell(
+        experiment(
+            ExecutionConfig(conservative=True), cross_channel_rate=0.1, checker=CHECKED
+        )
+    )
+    _, second = run_cell(
+        experiment(
+            ExecutionConfig(conservative=True), cross_channel_rate=0.1, checker=CHECKED
+        )
+    )
+    assert first.execution == "sharded-conservative"
+    assert first.isolation.verdict == "CERTIFIED-SERIALIZABLE"
+    assert first.isolation.summary() == second.isolation.summary()
 
 
 def test_sharded_trace_export_passes_the_schema_check(tmp_path):
